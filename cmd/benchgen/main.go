@@ -1,0 +1,71 @@
+// Command benchgen writes synthetic benchmark netlists in the repository's
+// plain-text format:
+//
+//	benchgen -nets 1500 -tracks 170 -seed 1 > test1.nl
+//	benchgen -paper -out bench/          # the Test1-10 analogue suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sadproute"
+)
+
+func main() {
+	var (
+		nets   = flag.Int("nets", 1500, "number of two-pin nets")
+		tracks = flag.Int("tracks", 170, "die width/height in routing tracks")
+		layers = flag.Int("layers", 3, "routing layers")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		cands  = flag.Int("cands", 1, "pin candidate locations per pin")
+		hpwl   = flag.Int("hpwl", 0, "mean net half-perimeter in tracks (0 = tracks/10)")
+		paper  = flag.Bool("paper", false, "emit the full Test1-10 analogue suite")
+		outDir = flag.String("out", ".", "output directory for -paper")
+	)
+	flag.Parse()
+
+	if *paper {
+		for _, fixed := range []bool{true, false} {
+			for _, sp := range sadp.PaperSpecs(fixed) {
+				nl := sadp.Generate(sp)
+				path := filepath.Join(*outDir, sp.Name+".nl")
+				f, err := os.Create(path)
+				if err != nil {
+					fatal(err)
+				}
+				if err := sadp.WriteNetlist(f, nl); err != nil {
+					fatal(err)
+				}
+				f.Close()
+				fmt.Fprintf(os.Stderr, "wrote %s (%d nets, %d tracks)\n", path, sp.Nets, sp.Tracks)
+			}
+		}
+		return
+	}
+
+	h := *hpwl
+	if h == 0 {
+		h = *tracks / 10
+	}
+	nl := sadp.Generate(sadp.Spec{
+		Name:          fmt.Sprintf("gen-%d-%d-%d", *nets, *tracks, *seed),
+		Nets:          *nets,
+		Tracks:        *tracks,
+		Layers:        *layers,
+		Seed:          *seed,
+		PinCandidates: *cands,
+		AvgHPWL:       h,
+		Blockages:     *nets / 150,
+	})
+	if err := sadp.WriteNetlist(os.Stdout, nl); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

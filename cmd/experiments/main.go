@@ -1,0 +1,102 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md §5 for the experiment index):
+//
+//	experiments -which table2                 # Table II  (color rules)
+//	experiments -which table3 -scale paper    # Table III (fixed pins)
+//	experiments -which table4 -scale paper    # Table IV  (pin candidates)
+//	experiments -which fig20                  # Fig. 20   (runtime scaling)
+//	experiments -which fig21,fig22 -out out/  # Figs. 21/22 (SVG + ASCII)
+//	experiments -which appendix               # Figs. 24-34 enumeration
+//	experiments -which ablation               # design-choice ablations
+//
+// -scale small shrinks the benchmark sizes for quick runs; -scale paper
+// uses the paper's 1.5k-28k-net sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sadproute/internal/bench"
+	"sadproute/internal/rules"
+)
+
+func main() {
+	var (
+		which  = flag.String("which", "table2", "comma list: table2,table3,table4,fig20,fig21,fig22,appendix,ablation,all")
+		scale  = flag.String("scale", "small", "benchmark scale: small | medium | paper")
+		outDir = flag.String("out", "results", "output directory")
+		budget = flag.Duration("budget", 30*time.Minute, "per-run time budget for the exhaustive baseline")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	sel := map[string]bool{}
+	for _, w := range strings.Split(*which, ",") {
+		sel[strings.TrimSpace(w)] = true
+	}
+	all := sel["all"]
+	ds := rules.Node10nm()
+
+	run := func(name string, fn func() (string, error)) {
+		if !all && !sel[name] {
+			return
+		}
+		start := time.Now()
+		text, err := fn()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		path := filepath.Join(*outDir, name+".txt")
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("== %s (%.1fs) -> %s\n%s\n", name, time.Since(start).Seconds(), path, text)
+	}
+
+	run("table2", func() (string, error) { return table2(ds), nil })
+	run("appendix", func() (string, error) { return appendix(ds), nil })
+	run("table3", func() (string, error) { return table3(ds, *scale), nil })
+	run("table4", func() (string, error) { return table4(ds, *scale, *budget), nil })
+	run("fig20", func() (string, error) { return fig20(ds, *scale), nil })
+	run("fig21", func() (string, error) { return fig21(ds, *outDir) })
+	run("fig22", func() (string, error) { return fig22(ds, *outDir) })
+	run("ablation", func() (string, error) { return ablation(ds, *scale), nil })
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
+
+// specsFor scales the paper's benchmark suite.
+func specsFor(scale string, fixedPins bool) []bench.Spec {
+	specs := bench.PaperSpecs(fixedPins)
+	switch scale {
+	case "paper":
+		return specs
+	case "medium":
+		return specs[:3]
+	default: // small: shrink everything
+		out := make([]bench.Spec, 0, 3)
+		for i, s := range specs[:3] {
+			s.Nets /= 5
+			s.Tracks /= 2
+			s.AvgHPWL = s.Tracks / 10
+			if s.AvgHPWL < 4 {
+				s.AvgHPWL = 4
+			}
+			s.Blockages /= 5
+			s.Name = fmt.Sprintf("%s-s", s.Name)
+			out = append(out, s)
+			_ = i
+		}
+		return out
+	}
+}

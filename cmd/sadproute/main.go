@@ -1,0 +1,88 @@
+// Command sadproute routes a netlist file with the overlay-aware SADP
+// detailed router, evaluates the result with the decomposition oracle, and
+// optionally renders it:
+//
+//	sadproute -in design.nl            # route, print metrics
+//	sadproute -in design.nl -svg out/  # also write per-layer SVGs
+//	sadproute -in design.nl -no-flip   # ablate the color-flipping DP
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sadproute"
+	"sadproute/internal/decomp"
+	"sadproute/internal/render"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "netlist file (see package netlist for the format)")
+		svgDir  = flag.String("svg", "", "directory for per-layer SVG renderings (optional)")
+		noFlip  = flag.Bool("no-flip", false, "disable the color-flipping DP")
+		noGamma = flag.Bool("no-gamma", false, "disable the type-2-b routing penalty")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	nl, err := sadp.ReadNetlist(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := sadp.Defaults()
+	if *noFlip {
+		opt.ColorFlip = false
+	}
+	if *noGamma {
+		opt.Gamma2 = 0
+	}
+	ds := sadp.Node10nm()
+	res := sadp.Route(nl, ds, opt)
+	layers, tot := sadp.Evaluate(res)
+
+	fmt.Printf("design        : %s (%d nets, %dx%d tracks, %d layers)\n",
+		nl.Name, len(nl.Nets), nl.W, nl.H, nl.Layers)
+	fmt.Printf("routability   : %.2f%% (%d routed, %d failed)\n", res.Routability(), res.Routed, res.Failed)
+	fmt.Printf("wirelength    : %d tracks, %d vias, %d rip-ups\n", res.WirelengthCells, res.Vias, res.Ripups)
+	fmt.Printf("side overlay  : %.1f units (%d nm), tips %d nm\n", tot.SideOverlayUnits, tot.SideOverlayNM, tot.TipOverlayNM)
+	fmt.Printf("hard overlays : %d\n", tot.HardOverlays)
+	fmt.Printf("cut conflicts : %d\n", tot.Conflicts)
+	fmt.Printf("violations    : %d\n", tot.Violations)
+	fmt.Printf("CPU           : %v\n", res.CPU)
+
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for l, ly := range res.Layouts() {
+			path := filepath.Join(*svgDir, fmt.Sprintf("layer%d.svg", l))
+			out, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			r := decomp.DecomposeCut(ly)
+			if err := render.SVG(out, ly, r, ly.Die); err != nil {
+				fatal(err)
+			}
+			out.Close()
+			fmt.Printf("wrote %s\n", path)
+		}
+		_ = layers
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sadproute:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+// Multipin demonstrates the paper's Table IV setting: each pin offers
+// several candidate locations and the router picks the pair that routes
+// and decomposes best. Compare routability and overlay with the fixed-pin
+// version of the same instance.
+package main
+
+import (
+	"fmt"
+
+	"sadproute"
+)
+
+func main() {
+	ds := sadp.Node10nm()
+	for _, cands := range []int{1, 3} {
+		nl := sadp.Generate(sadp.Spec{
+			Name:          fmt.Sprintf("multipin-%d", cands),
+			Nets:          180,
+			Tracks:        64,
+			Layers:        3,
+			Seed:          9,
+			PinCandidates: cands,
+			AvgHPWL:       7,
+			Blockages:     3,
+		})
+		res := sadp.Route(nl, ds, sadp.Defaults())
+		_, tot := sadp.Evaluate(res)
+		fmt.Printf("%d candidate(s)/pin: routability %.1f%%, overlay %.1f units, conflicts %d, CPU %v\n",
+			cands, res.Routability(), tot.SideOverlayUnits, tot.Conflicts, res.CPU)
+	}
+	fmt.Println("\nmultiple pin candidate locations give the router extra freedom —")
+	fmt.Println("the paper's Test6-Test10 benchmarks (Table IV) use three per pin.")
+}

@@ -1,0 +1,3 @@
+module sadproute
+
+go 1.22

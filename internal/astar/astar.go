@@ -1,0 +1,208 @@
+// Package astar implements the grid A*-search engine underlying the
+// paper's overlay-aware detailed router (Section III-E): multi-source /
+// multi-target search over a 3-D routing grid with a pluggable step-cost
+// hook, an admissible Manhattan heuristic, and path backtrace.
+//
+// Costs are integers in half-wirelength units so that the paper's
+// gamma = 1.5 type-2-b weight stays exact.
+package astar
+
+import (
+	"container/heap"
+
+	"sadproute/internal/grid"
+)
+
+// StepCost prices a move from one cell to an adjacent cell (planar step or
+// via). Returning ok=false forbids the step. The base wirelength/via terms
+// are added by the engine; the hook adds scenario-driven penalties.
+type StepCost func(from, to grid.Cell) (extra int, ok bool)
+
+// Config parameterizes a search.
+type Config struct {
+	// WL, Via are the alpha and beta weights of cost equation (5), in
+	// engine cost units (use Scale to convert).
+	WL, Via int
+	// Step is the extra-cost hook (may be nil).
+	Step StepCost
+	// MaxExpand bounds node expansions; 0 means no bound.
+	MaxExpand int
+	// SoftOccupied, when positive, makes cells owned by other nets passable
+	// at this extra cost per cell instead of impassable — used to discover
+	// which nets block an otherwise unroutable connection. Blockages stay
+	// impassable.
+	SoftOccupied int
+}
+
+// Scale is the engine cost multiplier: one grid step of wirelength costs
+// WL*Scale implicitly through Config, so fractional weights like gamma=1.5
+// remain integral.
+const Scale = 2
+
+// Engine holds reusable search state for one grid; it is not safe for
+// concurrent use.
+type Engine struct {
+	g      *grid.Grid
+	dist   []int
+	stamp  []int32
+	parent []int32
+	cur    int32
+	queue  pq
+	Expand int // node expansions of the last search (for diagnostics)
+}
+
+// New creates an engine bound to g.
+func New(g *grid.Grid) *Engine {
+	n := g.W * g.H * g.Layers
+	return &Engine{
+		g:      g,
+		dist:   make([]int, n),
+		stamp:  make([]int32, n),
+		parent: make([]int32, n),
+	}
+}
+
+func (e *Engine) idx(c grid.Cell) int { return (c.L*e.g.H+c.Y)*e.g.W + c.X }
+
+func (e *Engine) cell(i int) grid.Cell {
+	w, h := e.g.W, e.g.H
+	return grid.Cell{X: i % w, Y: (i / w) % h, L: i / (w * h)}
+}
+
+type pqItem struct {
+	idx  int32
+	f, g int
+}
+
+type pq []pqItem
+
+func (q pq) Len() int      { return len(q) }
+func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q pq) Less(i, j int) bool {
+	if q[i].f != q[j].f {
+		return q[i].f < q[j].f
+	}
+	return q[i].g > q[j].g // prefer deeper nodes on f-ties: straighter paths
+}
+func (q *pq) Push(x any) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Search finds a minimum-cost path from any source to any target under cfg.
+// Occupied and blocked cells are impassable except cells owned by net id.
+// The returned path runs source→target inclusive; ok is false when no path
+// exists.
+func (e *Engine) Search(id int32, sources, targets []grid.Cell, cfg Config) ([]grid.Cell, bool) {
+	if len(sources) == 0 || len(targets) == 0 {
+		return nil, false
+	}
+	e.cur++
+	e.queue = e.queue[:0]
+	e.Expand = 0
+
+	tset := make(map[int]bool, len(targets))
+	for _, t := range targets {
+		if e.g.In(t) {
+			tset[e.idx(t)] = true
+		}
+	}
+	if len(tset) == 0 {
+		return nil, false
+	}
+	h := func(c grid.Cell) int {
+		best := -1
+		for _, t := range targets {
+			d := absi(c.X-t.X) + absi(c.Y-t.Y)
+			if dl := absi(c.L - t.L); dl > 0 {
+				d += dl
+			}
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		return best * cfg.WL * Scale
+	}
+
+	push := func(i int, gcost int, parent int32) {
+		if e.stamp[i] == e.cur && e.dist[i] <= gcost {
+			return
+		}
+		e.stamp[i] = e.cur
+		e.dist[i] = gcost
+		e.parent[i] = parent
+		heap.Push(&e.queue, pqItem{idx: int32(i), f: gcost + h(e.cell(i)), g: gcost})
+	}
+
+	for _, s := range sources {
+		if !e.g.In(s) || !e.g.FreeOrNet(s, id) {
+			continue
+		}
+		push(e.idx(s), 0, -1)
+	}
+
+	var steps = [6]grid.Cell{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}, {L: 1}, {L: -1}}
+	for e.queue.Len() > 0 {
+		it := heap.Pop(&e.queue).(pqItem)
+		i := int(it.idx)
+		if e.stamp[i] == e.cur && e.dist[i] < it.g {
+			continue // stale entry
+		}
+		e.Expand++
+		if cfg.MaxExpand > 0 && e.Expand > cfg.MaxExpand {
+			return nil, false
+		}
+		if tset[i] {
+			return e.trace(i), true
+		}
+		c := e.cell(i)
+		for _, d := range steps {
+			nc := grid.Cell{X: c.X + d.X, Y: c.Y + d.Y, L: c.L + d.L}
+			if !e.g.In(nc) {
+				continue
+			}
+			step := cfg.WL * Scale
+			if d.L != 0 {
+				step = cfg.Via * Scale
+			}
+			if !e.g.FreeOrNet(nc, id) {
+				if cfg.SoftOccupied <= 0 || e.g.At(nc) < 0 {
+					continue // foreign cell or hard blockage
+				}
+				step += cfg.SoftOccupied
+			}
+			if cfg.Step != nil {
+				extra, ok := cfg.Step(c, nc)
+				if !ok {
+					continue
+				}
+				step += extra
+			}
+			push(e.idx(nc), it.g+step, int32(i))
+		}
+	}
+	return nil, false
+}
+
+// trace reconstructs the path ending at index i.
+func (e *Engine) trace(i int) []grid.Cell {
+	var rev []grid.Cell
+	for j := int32(i); j >= 0; j = e.parent[j] {
+		rev = append(rev, e.cell(int(j)))
+	}
+	for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
+		rev[a], rev[b] = rev[b], rev[a]
+	}
+	return rev
+}
+
+func absi(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

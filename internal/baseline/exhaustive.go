@@ -1,0 +1,153 @@
+package baseline
+
+import (
+	"sort"
+	"time"
+
+	"sadproute/internal/decomp"
+	"sadproute/internal/fragstore"
+	"sadproute/internal/geom"
+	"sadproute/internal/grid"
+	"sadproute/internal/netlist"
+	"sadproute/internal/rules"
+)
+
+// TrimExhaustive is the Du-et-al.-style [10] multi-pin-candidate trim
+// router: for every net it tentatively routes EVERY pin-candidate pair,
+// scores each tentative path with a full window decomposition of the trim
+// oracle under both mask choices, and commits the best combination. The
+// exhaustive candidate sweep with oracle-grade scoring is what gives [10]
+// its enormous runtime in the paper's Table IV (> 100000 s on the larger
+// benchmarks).
+type TrimExhaustive struct {
+	MaxRipup int
+	// Budget aborts the run when exceeded (the paper reports "NA" for
+	// Test9/Test10 after 100000 s); zero means unlimited.
+	Budget time.Duration
+}
+
+// Run routes the netlist; returns nil when the time budget was exceeded
+// (the paper's "NA" entries).
+func (t TrimExhaustive) Run(nl *netlist.Netlist, ds rules.Set) *Out {
+	start := time.Now()
+	if t.MaxRipup == 0 {
+		t.MaxRipup = 3
+	}
+	c := newCommon(nl, ds)
+	for _, id := range netOrder(nl) {
+		if t.Budget > 0 && time.Since(start) > t.Budget {
+			return nil
+		}
+		t.routeNet(c, id)
+	}
+	c.out.Layouts = c.layouts()
+	c.out.Trim = true
+	c.out.CPU = time.Since(start)
+	return c.out
+}
+
+func (t TrimExhaustive) routeNet(c *common, id int) {
+	n := c.nl.Nets[id]
+	for attempt := 0; ; attempt++ {
+		path, cols, score := t.bestCandidate(c, id, n)
+		if path == nil {
+			c.out.Failed++
+			return
+		}
+		c.commit(id, path)
+		for l, col := range cols {
+			if c.frags[l].Has(id) {
+				c.colors[l][id] = col
+			}
+		}
+		if score == 0 || attempt >= t.MaxRipup {
+			c.out.Routed++
+			return
+		}
+		c.ripup(id, path)
+		c.out.Ripups++
+		for _, cell := range path {
+			c.pen[cell] += 4
+		}
+	}
+}
+
+// bestCandidate sweeps every pin-candidate pair, tentatively routing and
+// oracle-scoring each, and returns the cheapest path with its per-layer
+// colors and conflict score.
+func (t TrimExhaustive) bestCandidate(c *common, id int, n netlist.Net) ([]grid.Cell, []decomp.Color, int) {
+	var bestPath []grid.Cell
+	var bestCols []decomp.Color
+	bestScore, bestLen := 1<<40, 1<<40
+	for _, a := range n.A.Candidates {
+		for _, b := range n.B.Candidates {
+			sub := netlist.Net{ID: id, A: netlist.Pin{Candidates: []grid.Cell{a}}, B: netlist.Pin{Candidates: []grid.Cell{b}}}
+			path, ok := c.search(id, sub, 0)
+			if !ok {
+				continue
+			}
+			cols, score := t.scorePath(c, id, path)
+			if score < bestScore || (score == bestScore && len(path) < bestLen) {
+				bestScore, bestLen = score, len(path)
+				bestPath, bestCols = path, cols
+			}
+		}
+	}
+	return bestPath, bestCols, bestScore
+}
+
+// scorePath tentatively commits the path, decomposes a window around it
+// with the trim oracle under both mask choices per layer, and returns the
+// best colors and the summed conflict-plus-hard-overlay count.
+func (t TrimExhaustive) scorePath(c *common, id int, path []grid.Cell) ([]decomp.Color, int) {
+	c.commit(id, path)
+	defer c.ripup(id, path)
+	cols := make([]decomp.Color, c.nl.Layers)
+	total := 0
+	for l := 0; l < c.nl.Layers; l++ {
+		if !c.frags[l].Has(id) {
+			continue
+		}
+		best, bestCol := 1<<40, decomp.Core
+		for _, col := range [2]decomp.Color{decomp.Core, decomp.Second} {
+			c.colors[l][id] = col
+			res := decomp.DecomposeTrim(t.window(c, l, id))
+			bad := len(res.Conflicts) + res.HardOverlays + len(res.Violations)
+			if bad < best {
+				best, bestCol = bad, col
+			}
+		}
+		delete(c.colors[l], id)
+		cols[l] = bestCol
+		total += best
+	}
+	return cols, total
+}
+
+// window assembles the trim-oracle input around the net's fragments.
+func (t TrimExhaustive) window(c *common, l, id int) decomp.Layout {
+	var bbox geom.Rect
+	for _, r := range c.frags[l].NetRects(id) {
+		bbox = bbox.Union(r)
+	}
+	in := map[int]bool{id: true}
+	c.frags[l].Query(bbox.Expand(3), func(f fragstore.Frag) { in[f.Net] = true })
+	ids := make([]int, 0, len(in))
+	for n := range in {
+		ids = append(ids, n)
+	}
+	sort.Ints(ids)
+	ly := decomp.Layout{Rules: c.ds, Die: c.g.DieNM()}
+	for _, n := range ids {
+		rects := c.frags[l].NetRects(n)
+		if len(rects) == 0 {
+			continue
+		}
+		nm := make([]geom.Rect, len(rects))
+		for i, cr := range rects {
+			nm[i] = c.g.CellsToNM(cr)
+		}
+		ly.Pats = append(ly.Pats, decomp.Pattern{Net: n, Color: c.colors[l][n], Rects: nm})
+	}
+	return ly
+}

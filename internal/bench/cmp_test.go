@@ -1,0 +1,29 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"sadproute/internal/rules"
+)
+
+// TestCompareSmall runs our router and two baselines on one small instance
+// and checks the paper's qualitative ordering: ours is conflict-free with
+// the smallest overlay.
+func TestCompareSmall(t *testing.T) {
+	cfg := RunConfig{Rules: rules.Node10nm(), Budget: 2 * time.Minute}
+	sp := Spec{Name: "cmp", Nets: 200, Tracks: 64, Layers: 3, Seed: 5, PinCandidates: 1, AvgHPWL: 6, Blockages: 2}
+	ours := Run(Generate(sp), AlgoOurs, cfg)
+	gp := Run(Generate(sp), AlgoTrimGreedy, cfg)
+	nm := Run(Generate(sp), AlgoCutNoMerge, cfg)
+	for _, m := range []Metrics{ours, gp, nm} {
+		t.Logf("%-14s rout=%.1f%% overlay=%.1fu conf=%d hard=%d viol=%d cpu=%v",
+			m.Algo, m.RoutabilityPct, m.OverlayUnits, m.Conflicts, m.HardOverlays, m.Violations, m.CPU)
+	}
+	if ours.Conflicts+ours.HardOverlays != 0 {
+		t.Errorf("ours must be conflict-free")
+	}
+	if !(ours.OverlayUnits < gp.OverlayUnits && ours.OverlayUnits < nm.OverlayUnits) {
+		t.Errorf("ours must have the smallest overlay")
+	}
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"testing"
+
+	"sadproute/internal/geom"
+	"sadproute/internal/netlist"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	sp := Spec{Name: "g", Nets: 100, Tracks: 48, Layers: 3, Seed: 5, PinCandidates: 2, AvgHPWL: 5, Blockages: 3}
+	a := Generate(sp)
+	b := Generate(sp)
+	if len(a.Nets) != len(b.Nets) || len(a.Nets) != 100 {
+		t.Fatalf("net counts: %d vs %d", len(a.Nets), len(b.Nets))
+	}
+	for i := range a.Nets {
+		if a.Nets[i].A.Candidates[0] != b.Nets[i].A.Candidates[0] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateUniquePins(t *testing.T) {
+	nl := Generate(Spec{Name: "g", Nets: 200, Tracks: 64, Layers: 3, Seed: 1, PinCandidates: 3, AvgHPWL: 6})
+	seen := map[geom.Pt]bool{}
+	for _, n := range nl.Nets {
+		for _, pin := range []netlist.Pin{n.A, n.B} {
+			for _, c := range pin.Candidates {
+				pt := geom.Pt{X: c.X, Y: c.Y}
+				if seen[pt] {
+					t.Fatalf("pin cell %v reused", pt)
+				}
+				seen[pt] = true
+			}
+		}
+	}
+}
+
+func TestPaperSpecsShape(t *testing.T) {
+	fixed := PaperSpecs(true)
+	multi := PaperSpecs(false)
+	if len(fixed) != 5 || len(multi) != 5 {
+		t.Fatal("want 5 specs per family")
+	}
+	if fixed[0].Nets != 1500 || fixed[4].Nets != 28000 {
+		t.Fatalf("net counts: %+v", fixed)
+	}
+	if fixed[0].PinCandidates != 1 || multi[0].PinCandidates != 3 {
+		t.Fatal("candidate counts wrong")
+	}
+	if multi[0].Name != "Test6" || fixed[0].Name != "Test1" {
+		t.Fatal("names wrong")
+	}
+	if got := fixed[4].SizeUM(); got != 36 {
+		t.Fatalf("Test5 die = %v um, want 36", got)
+	}
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"time"
+
+	"sadproute/internal/baseline"
+	"sadproute/internal/decomp"
+	"sadproute/internal/netlist"
+	"sadproute/internal/router"
+	"sadproute/internal/rules"
+)
+
+// Metrics is one row of the paper's evaluation tables.
+type Metrics struct {
+	Bench  string
+	Algo   string
+	Nets   int
+	SizeUM float64
+	// NA marks runs aborted on time budget (the paper's "NA" entries).
+	NA bool
+
+	RoutabilityPct float64
+	OverlayUnits   float64 // total side-overlay length in w_line units
+	OverlayNM      int
+	Conflicts      int // #C: cut conflicts (cut process) or trim conflicts
+	HardOverlays   int
+	Violations     int
+	CPU            time.Duration
+	Wirelength     int
+	Vias           int
+	Ripups         int
+}
+
+// Algo identifies one router under comparison.
+type Algo string
+
+const (
+	AlgoOurs           Algo = "ours"
+	AlgoTrimGreedy     Algo = "gao-pan-trim"  // ref [11]
+	AlgoCutNoMerge     Algo = "cut-no-merge"  // ref [16]
+	AlgoTrimExhaustive Algo = "du-exhaustive" // ref [10]
+)
+
+// RunConfig tunes a harness run.
+type RunConfig struct {
+	Rules rules.Set
+	// Budget aborts baseline runs that exceed it (0 = unlimited).
+	Budget time.Duration
+	// RouterOptions overrides the paper defaults for AlgoOurs (nil = defaults).
+	RouterOptions *router.Options
+}
+
+// Run routes the netlist with the chosen algorithm and measures the
+// result with the matching decomposition oracle. A nil result with NA=true
+// is returned when the algorithm exceeded the budget.
+func Run(nl *netlist.Netlist, algo Algo, cfg RunConfig) Metrics {
+	m := Metrics{
+		Bench:  nl.Name,
+		Algo:   string(algo),
+		Nets:   len(nl.Nets),
+		SizeUM: float64(nl.W) * float64(cfg.Rules.Pitch()) / 1000,
+	}
+	switch algo {
+	case AlgoOurs:
+		opt := router.Defaults()
+		if cfg.RouterOptions != nil {
+			opt = *cfg.RouterOptions
+		}
+		res := router.Route(nl, cfg.Rules, opt)
+		m.RoutabilityPct = res.Routability()
+		m.CPU = res.CPU
+		m.Wirelength = res.WirelengthCells
+		m.Vias = res.Vias
+		m.Ripups = res.Ripups
+		fill(&m, res.Layouts(), false)
+	case AlgoTrimGreedy:
+		out := baseline.TrimGreedy{}.Run(nl, cfg.Rules)
+		fillBaseline(&m, out)
+	case AlgoCutNoMerge:
+		out := baseline.CutNoMerge{}.Run(nl, cfg.Rules)
+		fillBaseline(&m, out)
+	case AlgoTrimExhaustive:
+		out := baseline.TrimExhaustive{Budget: cfg.Budget}.Run(nl, cfg.Rules)
+		if out == nil {
+			m.NA = true
+			m.CPU = cfg.Budget
+			return m
+		}
+		fillBaseline(&m, out)
+	default:
+		panic("bench: unknown algorithm " + string(algo))
+	}
+	return m
+}
+
+func fillBaseline(m *Metrics, out *baseline.Out) {
+	m.RoutabilityPct = out.Routability()
+	m.CPU = out.CPU
+	m.Wirelength = out.WirelengthCells
+	m.Vias = out.Vias
+	m.Ripups = out.Ripups
+	fill(m, out.Layouts, out.Trim)
+}
+
+// fill measures the colored layouts with the matching oracle. For cut-
+// process results #C counts cut conflicts; hard overlays are reported
+// separately (for the no-merge baseline they are decomposition failures
+// and are folded into #C, since that router has no cut-based escape).
+func fill(m *Metrics, layouts []decomp.Layout, trim bool) {
+	var tot decomp.Totals
+	if trim {
+		_, tot = decomp.DecomposeTrimLayers(layouts)
+	} else {
+		_, tot = decomp.DecomposeLayers(layouts)
+	}
+	m.OverlayUnits = tot.SideOverlayUnits
+	m.OverlayNM = tot.SideOverlayNM
+	m.Conflicts = tot.Conflicts
+	m.HardOverlays = tot.HardOverlays
+	m.Violations = tot.Violations
+}

@@ -1,0 +1,273 @@
+// Package colorflip implements the paper's linear-time color flipping
+// algorithm (Section III-C): extract a maximum spanning tree from each
+// overlay-constraint-graph component (hard edges outweigh any nonhard
+// total), split every vertex into a core and a second node to form the
+// flipping graph, and run the dynamic program of equation (4) from the
+// leaves to the root; backtracing yields the optimal color assignment of
+// the tree in O(V+E) (Theorem 4).
+//
+// It also provides the O(1) pseudo-coloring step used right after a net is
+// routed (line 11 of the paper's Fig. 19).
+package colorflip
+
+import (
+	"sort"
+
+	"sadproute/internal/decomp"
+	"sadproute/internal/ocg"
+	"sadproute/internal/scenario"
+)
+
+// inf is an effectively infinite cost for forbidden assignments.
+const inf = int(1) << 40
+
+// PseudoColor picks the color of a freshly routed net n that minimizes the
+// overlay cost against its already-colored neighbors. Uncolored neighbors
+// contribute their cheapest option. Ties prefer Second: an uncommitted
+// pattern keeps more flexibility for later assistant-core sharing.
+func PseudoColor(g *ocg.Graph, n int, colors map[int]decomp.Color) decomp.Color {
+	return PseudoColorLocked(g, n, colors, nil)
+}
+
+// PseudoColorLocked is PseudoColor honoring per-net color locks (nets whose
+// color is pinned by the cut-conflict check).
+func PseudoColorLocked(g *ocg.Graph, n int, colors map[int]decomp.Color, locked map[int]decomp.Color) decomp.Color {
+	if c, ok := locked[n]; ok && c != decomp.Unassigned {
+		return c
+	}
+	costOf := func(c decomp.Color) int {
+		total := 0
+		for _, e := range g.Edges(n) {
+			o := e.Other(n)
+			oc, ok := colors[o]
+			if ok && oc != decomp.Unassigned {
+				total = addSat(total, assignCost2(e, n, c, oc))
+				continue
+			}
+			// Neighbor not colored yet: assume its best response.
+			best := inf
+			for _, occ := range [2]decomp.Color{decomp.Core, decomp.Second} {
+				if v := assignCost2(e, n, c, occ); v < best {
+					best = v
+				}
+			}
+			total = addSat(total, best)
+		}
+		return total
+	}
+	cc := costOf(decomp.Core)
+	cs := costOf(decomp.Second)
+	if cc < cs {
+		return decomp.Core
+	}
+	return decomp.Second
+}
+
+// assignCost2 orients the edge so that net n plays the first role.
+func assignCost2(e *ocg.Edge, n int, cn, co decomp.Color) int {
+	if e.A == n {
+		return assignCostRaw(e.Prof, cn, co)
+	}
+	return assignCostRaw(e.Prof, co, cn)
+}
+
+func assignCostRaw(p scenario.Profile, ca, cb decomp.Color) int {
+	a := scenario.Of(ca, cb)
+	if p.Forbidden[a] {
+		return inf
+	}
+	return p.Cost[a]
+}
+
+// Result reports one flipping run.
+type Result struct {
+	Colors map[int]decomp.Color
+	// Cost is the DP tree cost of the chosen assignment (inf if the tree
+	// admits no feasible assignment).
+	Cost int
+	// Feasible is false when some hard constraint cannot be satisfied.
+	Feasible bool
+}
+
+// Optimize computes the optimal color assignment of one OCG component
+// containing the given nets, considering the component's maximum spanning
+// tree (nonhard off-tree edges are ignored, as in the paper).
+func Optimize(g *ocg.Graph, nets []int) Result {
+	return OptimizeLocked(g, nets, nil)
+}
+
+// OptimizeLocked is Optimize honoring per-net color locks: a locked net
+// takes infinite cost for the opposite color, so the DP routes flexibility
+// around it.
+func OptimizeLocked(g *ocg.Graph, nets []int, locked map[int]decomp.Color) Result {
+	vcost := func(n int, c decomp.Color) int {
+		if lc, ok := locked[n]; ok && lc != decomp.Unassigned && lc != c {
+			return inf
+		}
+		return 0
+	}
+	res := Result{Colors: make(map[int]decomp.Color, len(nets)), Feasible: true}
+	if len(nets) == 0 {
+		return res
+	}
+	edges := g.ComponentEdges(nets)
+	tree := maxSpanningTree(nets, edges)
+
+	idx := make(map[int]int, len(nets))
+	for i, n := range nets {
+		idx[n] = i
+	}
+	adjT := make([][]*ocg.Edge, len(nets))
+	for _, e := range tree {
+		adjT[idx[e.A]] = append(adjT[idx[e.A]], e)
+		adjT[idx[e.B]] = append(adjT[idx[e.B]], e)
+	}
+
+	visited := make([]bool, len(nets))
+	var costC, costS []int
+	costC = make([]int, len(nets))
+	costS = make([]int, len(nets))
+	choiceC := make([][]decomp.Color, len(nets)) // chosen child colors if parent is Core
+	choiceS := make([][]decomp.Color, len(nets))
+	children := make([][]int, len(nets))
+
+	total := 0
+	for root := range nets {
+		if visited[root] {
+			continue
+		}
+		// Iterative post-order DFS over this tree component.
+		order := make([]int, 0, 8)
+		parentEdge := make(map[int]*ocg.Edge)
+		stack := []int{root}
+		visited[root] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			order = append(order, v)
+			for _, e := range adjT[v] {
+				o := idx[e.Other(nets[v])]
+				if !visited[o] {
+					visited[o] = true
+					parentEdge[o] = e
+					children[v] = append(children[v], o)
+					stack = append(stack, o)
+				}
+			}
+		}
+		// Leaves-to-root accumulation (equation (4)).
+		for i := len(order) - 1; i >= 0; i-- {
+			v := order[i]
+			cC, cS := vcost(nets[v], decomp.Core), vcost(nets[v], decomp.Second)
+			chC := make([]decomp.Color, len(children[v]))
+			chS := make([]decomp.Color, len(children[v]))
+			for k, ch := range children[v] {
+				e := parentEdge[ch]
+				bC, colC := bestChild(e, nets[v], nets[ch], decomp.Core, costC[ch], costS[ch])
+				bS, colS := bestChild(e, nets[v], nets[ch], decomp.Second, costC[ch], costS[ch])
+				cC = addSat(cC, bC)
+				cS = addSat(cS, bS)
+				chC[k], chS[k] = colC, colS
+			}
+			costC[v], costS[v] = cC, cS
+			choiceC[v], choiceS[v] = chC, chS
+		}
+		// Choose the root color and backtrace.
+		rootColor := decomp.Second
+		best := costS[root]
+		if costC[root] < costS[root] {
+			rootColor, best = decomp.Core, costC[root]
+		}
+		if best >= inf {
+			res.Feasible = false
+		}
+		total = addSat(total, best)
+		var assign func(v int, c decomp.Color)
+		assign = func(v int, c decomp.Color) {
+			res.Colors[nets[v]] = c
+			ch := choiceS[v]
+			if c == decomp.Core {
+				ch = choiceC[v]
+			}
+			for k, child := range children[v] {
+				assign(child, ch[k])
+			}
+		}
+		assign(root, rootColor)
+	}
+	res.Cost = total
+	return res
+}
+
+// bestChild returns the cheaper child option (cost and child color) given
+// the parent's color on tree edge e.
+func bestChild(e *ocg.Edge, parentNet, childNet int, pc decomp.Color, childCostC, childCostS int) (int, decomp.Color) {
+	vc := addSat(childCostC, edgeCostOriented(e, parentNet, pc, decomp.Core))
+	vs := addSat(childCostS, edgeCostOriented(e, parentNet, pc, decomp.Second))
+	if vc <= vs {
+		return vc, decomp.Core
+	}
+	return vs, decomp.Second
+}
+
+func edgeCostOriented(e *ocg.Edge, parentNet int, pc, cc decomp.Color) int {
+	if e.A == parentNet {
+		return assignCostRaw(e.Prof, pc, cc)
+	}
+	return assignCostRaw(e.Prof, cc, pc)
+}
+
+func addSat(a, b int) int {
+	s := a + b
+	if s > inf {
+		return inf
+	}
+	return s
+}
+
+// maxSpanningTree selects a maximum-weight spanning forest: hard edges
+// carry a weight larger than any nonhard total so they are always kept
+// (their constraints must bind), nonhard edges weigh their maximum
+// potential side-overlay length.
+func maxSpanningTree(nets []int, edges []*ocg.Edge) []*ocg.Edge {
+	const hardBoost = 1 << 30
+	w := func(e *ocg.Edge) int {
+		k := ocg.Kind(e.Prof)
+		max := 0
+		for _, c := range e.Prof.Cost {
+			if c > max {
+				max = c
+			}
+		}
+		if k == ocg.HardSame || k == ocg.HardDiff || k == ocg.Contradiction {
+			return hardBoost + max
+		}
+		return max
+	}
+	sorted := make([]*ocg.Edge, len(edges))
+	copy(sorted, edges)
+	sort.SliceStable(sorted, func(i, j int) bool { return w(sorted[i]) > w(sorted[j]) })
+
+	parent := make(map[int]int, len(nets))
+	var find func(int) int
+	find = func(x int) int {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	var tree []*ocg.Edge
+	for _, e := range sorted {
+		ra, rb := find(e.A), find(e.B)
+		if ra == rb {
+			continue
+		}
+		parent[ra] = rb
+		tree = append(tree, e)
+	}
+	return tree
+}

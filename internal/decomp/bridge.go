@@ -1,0 +1,276 @@
+package decomp
+
+import "sadproute/internal/geom"
+
+// gapLinf returns the L-infinity clearance between two rects and whether
+// they are disjoint with a positive gap.
+func gapLinf(a, b geom.Rect) (int, bool) {
+	gx, gy := a.GapX(b), a.GapY(b)
+	if gx == 0 && gy == 0 {
+		return 0, false // overlapping or touching: already one blob
+	}
+	if gx > gy {
+		return gx, true
+	}
+	return gy, true
+}
+
+// bridgeRect returns the rectangle spanning the gap between two disjoint
+// rects: the overlap interval on the aligned axis (or the open gap interval
+// for corner-diagonal pairs) crossed with the gap interval.
+func bridgeRect(a, b geom.Rect) geom.Rect {
+	var x0, x1, y0, y1 int
+	if a.OverlapX(b) > 0 {
+		x0, x1 = maxi(a.X0, b.X0), mini(a.X1, b.X1)
+	} else if a.X1 <= b.X0 {
+		x0, x1 = a.X1, b.X0
+	} else {
+		x0, x1 = b.X1, a.X0
+	}
+	if a.OverlapY(b) > 0 {
+		y0, y1 = maxi(a.Y0, b.Y0), mini(a.Y1, b.Y1)
+	} else if a.Y1 <= b.Y0 {
+		y0, y1 = a.Y1, b.Y0
+	} else {
+		y0, y1 = b.Y1, a.Y0
+	}
+	return geom.Rect{X0: x0, Y0: y0, X1: x1, Y1: y1}
+}
+
+// dsu is a plain union-find over material indices; material rects that touch
+// or overlap are one mask blob and never need bridging.
+type dsu struct{ p []int }
+
+func newDSU(n int) *dsu {
+	d := &dsu{p: make([]int, n)}
+	for i := range d.p {
+		d.p[i] = i
+	}
+	return d
+}
+
+func (d *dsu) find(x int) int {
+	for d.p[x] != x {
+		d.p[x] = d.p[d.p[x]]
+		x = d.p[x]
+	}
+	return x
+}
+
+func (d *dsu) union(a, b int) { d.p[d.find(a)] = d.find(b) }
+
+// grow extends the forest to n elements.
+func (d *dsu) grow(n int) {
+	for len(d.p) < n {
+		d.p = append(d.p, len(d.p))
+	}
+}
+
+// buildBridges realizes the merge technique: any two pieces of core-mask
+// material in different blobs closer than d_core cannot coexist on the core
+// mask, so they are merged; the merge material is removed by the cut mask,
+// inducing overlays where it touches target boundaries.
+//
+//   - Straight merges (the pair overlaps in one axis) get a thin bridge
+//     spanning the gap.
+//   - Corner merges (diagonal pairs) get a thick bridge — the corner gap
+//     square expanded by w_core so the mask connection meets minimum width;
+//     it legitimately overlaps its two parents. When the thick bridge would
+//     collide with an unrelated target (or encroach a second pattern), and a
+//     parent is an assistant core, the assist is trimmed back to d_core
+//     clearance instead (real decomposers sacrifice optional assist material
+//     before breaking a target).
+//
+// Bridging iterates until no blob pair remains within d_core.
+func buildBridges(ly Layout, mats []Mat, ts []tgt, tix *rectIndex, res *Result) []Mat {
+	ds := ly.Rules
+	comp := newDSU(len(mats))
+	for iter := 0; iter < 6; iter++ {
+		comp.grow(len(mats))
+		ix := newRectIndex(indexCell(ly))
+		for i, m := range mats {
+			ix.add(i, m.Rect)
+		}
+		// Unite touching blobs first so bridges never span through material.
+		for i := range mats {
+			if mats[i].Rect.Empty() {
+				continue
+			}
+			ix.query(mats[i].Rect.Expand(1), func(j int) {
+				if j <= i || mats[j].Rect.Empty() {
+					return
+				}
+				if _, positive := gapLinf(mats[i].Rect, mats[j].Rect); !positive {
+					comp.union(i, j)
+				}
+			})
+		}
+		var added []Mat
+		for i := range mats {
+			a := mats[i]
+			if a.Rect.Empty() {
+				continue
+			}
+			ix.query(a.Rect.Expand(ds.DCore), func(j int) {
+				if j <= i {
+					return
+				}
+				b := mats[j]
+				if b.Rect.Empty() || comp.find(i) == comp.find(j) {
+					return
+				}
+				gap, positive := gapLinf(a.Rect, b.Rect)
+				if !positive || gap >= ds.DCore {
+					return
+				}
+				br := bridgeRect(a.Rect, b.Rect)
+				corner := a.Rect.GapX(b.Rect) > 0 && a.Rect.GapY(b.Rect) > 0
+				if corner {
+					thick := br.Expand(ds.WCore)
+					switch {
+					case !bridgeCollision(ly, thick, a.Rect, b.Rect, ts, tix):
+						br = thick
+					case trimAssistPair(ds.DCore, ds.WCore, mats, i, j):
+						return // proximity resolved by trimming the assist
+					default:
+						// Fall back to the point-contact corner bridge: it
+						// lies entirely in the spacing cross, and core-mask
+						// MRC violations over spacer are waivable (Ma et
+						// al., cited in Section II-B). No overlay results.
+					}
+				} else {
+					reportBridge(ly, br, a.Rect, b.Rect, ts, tix, res)
+				}
+				if !br.Empty() {
+					added = append(added, Mat{Kind: MatBridge, Pat: -1, Rect: br})
+				}
+				comp.grow(len(mats) + len(added))
+				comp.union(i, j)
+			})
+		}
+		if len(added) == 0 {
+			break
+		}
+		base := len(mats)
+		mats = append(mats, added...)
+		comp.grow(len(mats))
+		// A bridge belongs to the blob it connects.
+		for k := base; k < len(mats); k++ {
+			comp.union(k, k) // ensure slot exists; adjacency unite happens next iter
+		}
+	}
+	return mats
+}
+
+// bridgeCollision reports whether a (thick) bridge hits target geometry
+// other than its own parents.
+func bridgeCollision(ly Layout, br, pa, pb geom.Rect, ts []tgt, tix *rectIndex) bool {
+	ws := ly.Rules.WSpacer
+	hit := false
+	tix.query(br.Expand(ws), func(oi int) {
+		if hit {
+			return
+		}
+		o := ts[oi]
+		if o.rect == pa || o.rect == pb {
+			return
+		}
+		if br.Intersects(o.rect) {
+			hit = true
+			return
+		}
+		if o.color == Second && br.Intersects(o.rect.Expand(ws)) {
+			hit = true
+		}
+	})
+	return hit
+}
+
+// reportBridge records violations for a bridge that collides with targets.
+func reportBridge(ly Layout, br, pa, pb geom.Rect, ts []tgt, tix *rectIndex, res *Result) {
+	ws := ly.Rules.WSpacer
+	tix.query(br.Expand(ws), func(oi int) {
+		o := ts[oi]
+		if o.rect == pa || o.rect == pb {
+			return
+		}
+		if br.Intersects(o.rect) {
+			res.addViolationNet(o.net, "merge bridge %v overlaps target of net %d", br, o.net)
+			return
+		}
+		if o.color == Second && br.Intersects(o.rect.Expand(ws)) {
+			res.addViolationNet(o.net, "merge bridge %v encroaches on second pattern of net %d", br, o.net)
+		}
+	})
+}
+
+// trimAssistPair tries to pull one assistant-core parent of a corner pair
+// back to d_core clearance, shrinking along whichever axis preserves the
+// core minimum width. It mutates mats in place and reports success.
+func trimAssistPair(dcore, wc int, mats []Mat, i, j int) bool {
+	for _, k := range [2]int{i, j} {
+		o := j
+		if k == j {
+			o = i
+		}
+		if mats[k].Kind != MatAssist {
+			continue
+		}
+		if nr, ok := trimAway(mats[k].Rect, mats[o].Rect, dcore, wc); ok {
+			mats[k].Rect = nr
+			return true
+		}
+	}
+	return false
+}
+
+// trimAway shrinks rect a away from rect b until their gap along one axis
+// reaches at least d, preferring the axis where a keeps the most extent.
+func trimAway(a, b geom.Rect, d, minw int) (geom.Rect, bool) {
+	var cands []geom.Rect
+	// Shrink in X.
+	if a.X1 <= b.X0 { // a is west of b
+		c := a
+		c.X1 = b.X0 - d
+		cands = append(cands, c)
+	} else if b.X1 <= a.X0 {
+		c := a
+		c.X0 = b.X1 + d
+		cands = append(cands, c)
+	}
+	// Shrink in Y.
+	if a.Y1 <= b.Y0 {
+		c := a
+		c.Y1 = b.Y0 - d
+		cands = append(cands, c)
+	} else if b.Y1 <= a.Y0 {
+		c := a
+		c.Y0 = b.Y1 + d
+		cands = append(cands, c)
+	}
+	best := geom.Rect{}
+	ok := false
+	for _, c := range cands {
+		if c.W() < minw || c.H() < minw {
+			continue
+		}
+		if !ok || c.Area() > best.Area() {
+			best, ok = c, true
+		}
+	}
+	return best, ok
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mini(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

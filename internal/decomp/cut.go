@@ -1,0 +1,72 @@
+package decomp
+
+// DecomposeCut runs the SADP cut-process decomposition oracle on one layer:
+//
+//  1. core-colored targets become core-mask material;
+//  2. assistant cores are synthesized around second-colored targets;
+//  3. material closer than d_core is merged with bridge rectangles (the
+//     merge technique), iterated to a fixpoint;
+//  4. every target boundary is classified as interior / spacer-protected /
+//     cut-defined, yielding side overlays, tip overlays and hard overlays;
+//  5. opposing cut regions closer than d_cut over a target are reported as
+//     cut conflicts.
+//
+// The returned Result always exists; decomposition failures surface as
+// Violations, hard overlays and conflicts rather than errors.
+func DecomposeCut(ly Layout) *Result {
+	res := &Result{}
+	ts, tix := collectTargets(ly, res)
+
+	mats := make([]Mat, 0, len(ts)*2)
+	for ti, t := range ts {
+		_ = ti
+		if t.color == Core {
+			mats = append(mats, Mat{Kind: MatCoreTarget, Pat: t.pat, Rect: t.rect})
+		}
+	}
+	mats = append(mats, buildAssists(ly, ts, tix)...)
+	mats = buildBridges(ly, mats, ts, tix, res)
+
+	mix := newRectIndex(indexCell(ly))
+	for i, m := range mats {
+		mix.add(i, m.Rect)
+	}
+	for ti := range ts {
+		measureRect(ly, ti, ts, tix, mats, mix, res)
+	}
+	res.Materials = mats
+	res.SideOverlayUnits = float64(res.SideOverlayNM) / float64(ly.Rules.WLine)
+	return res
+}
+
+// DecomposeLayers runs DecomposeCut on every layer and merges the results
+// into per-layer slices plus an aggregate.
+func DecomposeLayers(layers []Layout) ([]*Result, Totals) {
+	out := make([]*Result, len(layers))
+	var tot Totals
+	for i, ly := range layers {
+		out[i] = DecomposeCut(ly)
+		tot.Accumulate(out[i])
+	}
+	return out, tot
+}
+
+// Totals aggregates decomposition metrics across layers.
+type Totals struct {
+	SideOverlayNM    int
+	SideOverlayUnits float64
+	TipOverlayNM     int
+	HardOverlays     int
+	Conflicts        int
+	Violations       int
+}
+
+// Accumulate folds one layer's result into the totals.
+func (t *Totals) Accumulate(r *Result) {
+	t.SideOverlayNM += r.SideOverlayNM
+	t.SideOverlayUnits += r.SideOverlayUnits
+	t.TipOverlayNM += r.TipOverlayNM
+	t.HardOverlays += r.HardOverlays
+	t.Conflicts += len(r.Conflicts)
+	t.Violations += len(r.Violations)
+}

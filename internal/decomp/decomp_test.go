@@ -1,0 +1,204 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sadproute/internal/geom"
+	"sadproute/internal/rules"
+)
+
+// TestTipToTipMergeCut reproduces the paper's Fig. 2(c)/(d): two tip-to-tip
+// patterns on one track merge on the core mask and are separated by a cut
+// pattern, inducing only non-critical tip overlays.
+func TestTipToTipMergeCut(t *testing.T) {
+	a := wire(true, 5, 0, 4)
+	b := wire(true, 5, 5, 9)
+	for _, asg := range [][2]Color{{Core, Core}, {Second, Second}} {
+		res := DecomposeCut(twoPatternLayout(a, b, asg[0], asg[1]))
+		if res.SideOverlayNM != 0 || res.HardOverlays != 0 || len(res.Conflicts) != 0 {
+			t.Errorf("%v%v: SO=%d hard=%d conf=%d, want clean",
+				asg[0], asg[1], res.SideOverlayNM, res.HardOverlays, len(res.Conflicts))
+		}
+		if res.TipOverlayNM == 0 {
+			t.Errorf("%v%v: expected tip overlays at the separating cut", asg[0], asg[1])
+		}
+	}
+}
+
+// TestOddCycleMergeCut reproduces Fig. 2(a)/(b): an odd cycle of must-differ
+// adjacencies is trim-undecomposable for every coloring but cut-decomposable.
+func TestOddCycleMergeCut(t *testing.T) {
+	ds := rules.Node10nm()
+	a := []geom.Rect{nmWire(ds, false, 2, 0, 8)}
+	b := []geom.Rect{nmWire(ds, false, 3, 0, 8)}
+	c := []geom.Rect{
+		nmWire(ds, false, 4, 0, 10),
+		nmWire(ds, true, 10, 1, 4),
+		nmWire(ds, false, 1, 8, 10),
+	}
+	build := func(ca, cb, cc Color) Layout {
+		return Layout{Rules: ds, Die: geom.Rect{X0: -200, Y0: -200, X1: 800, Y1: 800},
+			Pats: []Pattern{
+				{Net: 0, Color: ca, Rects: a},
+				{Net: 1, Color: cb, Rects: b},
+				{Net: 2, Color: cc, Rects: c},
+			}}
+	}
+	colors := []Color{Core, Second}
+	trimOK, cutOK := false, false
+	for _, ca := range colors {
+		for _, cb := range colors {
+			for _, cc := range colors {
+				if r := DecomposeTrim(build(ca, cb, cc)); len(r.Conflicts)+r.HardOverlays == 0 {
+					trimOK = true
+				}
+				if r := DecomposeCut(build(ca, cb, cc)); len(r.Conflicts)+r.HardOverlays+len(r.Violations) == 0 {
+					cutOK = true
+				}
+			}
+		}
+	}
+	if trimOK {
+		t.Error("odd cycle must be trim-undecomposable for every coloring")
+	}
+	if !cutOK {
+		t.Error("odd cycle must be cut-decomposable (merge technique)")
+	}
+}
+
+func nmWire(ds rules.Set, horiz bool, fixed, c0, c1 int) geom.Rect {
+	p, w := ds.Pitch(), ds.WLine
+	if horiz {
+		return geom.Rect{X0: c0 * p, Y0: fixed * p, X1: c1*p + w, Y1: fixed*p + w}
+	}
+	return geom.Rect{X0: fixed * p, Y0: c0 * p, X1: fixed*p + w, Y1: c1*p + w}
+}
+
+// TestQuickIndependence is the Theorem 1 property test: random pattern
+// pairs at distance >= d_indep never induce side overlays, conflicts or
+// violations under any coloring.
+func TestQuickIndependence(t *testing.T) {
+	ds := rules.Node10nm()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random wires in cell coordinates.
+		a := cwire(rng.Intn(2) == 0, 5, 0, 1+rng.Intn(6))
+		b := cwire(rng.Intn(2) == 0, 5, 0, 1+rng.Intn(6))
+		dx := rng.Intn(12)
+		dy := rng.Intn(12)
+		b = b.Translate(geom.Pt{X: dx, Y: dy}) // cell coords
+		// Keep only pairs that Theorem 2 classifies as independent.
+		xt := trackGapCells(a.X0, a.X1, b.X0, b.X1)
+		yt := trackGapCells(a.Y0, a.Y1, b.Y0, b.Y1)
+		dependent := (xt == 0 && yt <= 2) || (yt == 0 && xt <= 2) ||
+			(xt >= 1 && yt >= 1 && xt+yt <= 3)
+		if dependent || (xt == 0 && yt == 0) {
+			return true
+		}
+		// Convert to nm.
+		anm := cellsToNM(a, ds)
+		bnm := cellsToNM(b, ds)
+		for _, ca := range []Color{Core, Second} {
+			for _, cb := range []Color{Core, Second} {
+				ly := Layout{Rules: ds,
+					Die:  geom.Rect{X0: -800, Y0: -800, X1: 2000, Y1: 2000},
+					Pats: []Pattern{{Net: 0, Color: ca, Rects: []geom.Rect{anm}}, {Net: 1, Color: cb, Rects: []geom.Rect{bnm}}}}
+				res := DecomposeCut(ly)
+				if res.SideOverlayNM != 0 || len(res.Conflicts) != 0 || len(res.Violations) != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// cwire builds a straight wire in cell coordinates.
+func cwire(horiz bool, fixed, c0, c1 int) geom.Rect {
+	if horiz {
+		return geom.Rect{X0: c0, Y0: fixed, X1: c1 + 1, Y1: fixed + 1}
+	}
+	return geom.Rect{X0: fixed, Y0: c0, X1: fixed + 1, Y1: c1 + 1}
+}
+
+func trackGapCells(a0, a1, b0, b1 int) int {
+	switch {
+	case b0 >= a1:
+		return b0 - a1 + 1
+	case a0 >= b1:
+		return a0 - b1 + 1
+	default:
+		return 0
+	}
+}
+
+func cellsToNM(r geom.Rect, ds rules.Set) geom.Rect {
+	p, w := ds.Pitch(), ds.WLine
+	return geom.Rect{X0: r.X0 * p, Y0: r.Y0 * p, X1: (r.X1-1)*p + w, Y1: (r.Y1-1)*p + w}
+}
+
+// TestTrimNoAssistOverlay: in the trim process a lone second wire has both
+// long sides fully exposed (no assistant cores) — the overlay source the
+// paper attributes to refs. [10]/[11].
+func TestTrimNoAssistOverlay(t *testing.T) {
+	ds := rules.Node10nm()
+	w := nmWire(ds, true, 5, 0, 4) // 180 nm long
+	ly := Layout{Rules: ds, Die: geom.Rect{X0: -400, Y0: -400, X1: 1000, Y1: 1000},
+		Pats: []Pattern{{Net: 0, Color: Second, Rects: []geom.Rect{w}}}}
+	res := DecomposeTrim(ly)
+	if res.SideOverlayNM != 2*180 {
+		t.Fatalf("trim overlay = %d, want both sides (360)", res.SideOverlayNM)
+	}
+	// The same wire under the cut process gets assistant cores: clean.
+	cut := DecomposeCut(ly)
+	if cut.SideOverlayNM != 0 {
+		t.Fatalf("cut-process overlay = %d, want 0 (assists)", cut.SideOverlayNM)
+	}
+}
+
+// TestTrimConflicts: same-mask adjacency conflicts per pattern pair.
+func TestTrimConflicts(t *testing.T) {
+	a := wire(true, 5, 0, 4)
+	b := wire(true, 6, 0, 4)
+	res := DecomposeTrim(twoPatternLayout(a, b, Core, Core))
+	if len(res.Conflicts) != 1 {
+		t.Fatalf("adjacent same-mask pair: %d conflicts, want 1", len(res.Conflicts))
+	}
+	res = DecomposeTrim(twoPatternLayout(a, b, Core, Second))
+	if len(res.Conflicts) != 0 {
+		t.Fatalf("different masks: %d conflicts, want 0", len(res.Conflicts))
+	}
+}
+
+// TestTotalsAccumulate: multi-layer aggregation.
+func TestTotalsAccumulate(t *testing.T) {
+	a := wire(true, 5, 0, 4)
+	b := wire(true, 6, 0, 4)
+	bad := twoPatternLayout(a, b, Core, Core) // hard overlays
+	ok := twoPatternLayout(a, b, Core, Second)
+	results, tot := DecomposeLayers([]Layout{bad, ok})
+	if len(results) != 2 {
+		t.Fatal("want two layer results")
+	}
+	if tot.HardOverlays != 2 || tot.SideOverlayNM != 360 {
+		t.Fatalf("totals wrong: %+v", tot)
+	}
+}
+
+// TestDieClipping: assist flanks outside the die are dropped, exposing the
+// boundary-side of a second pattern placed at the die edge.
+func TestDieClipping(t *testing.T) {
+	ds := rules.Node10nm()
+	w := nmWire(ds, true, 0, 0, 4) // at the very bottom of the die
+	ly := Layout{Rules: ds, Die: geom.Rect{X0: 0, Y0: 0, X1: 1000, Y1: 1000},
+		Pats: []Pattern{{Net: 0, Color: Second, Rects: []geom.Rect{w}}}}
+	res := DecomposeCut(ly)
+	if res.SideOverlayNM == 0 {
+		t.Fatal("bottom flank cannot fit inside the die: expected overlay")
+	}
+}

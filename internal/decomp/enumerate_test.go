@@ -1,0 +1,84 @@
+package decomp
+
+import (
+	"testing"
+
+	"sadproute/internal/geom"
+	"sadproute/internal/rules"
+)
+
+// cellRect converts a grid cell (track coordinates) to its metal rectangle
+// in nm for the 10 nm-node rules: pitch 40, line width 20.
+func cellRect(cx, cy int) geom.Rect {
+	const pitch, w = 40, 20
+	return geom.Rect{X0: cx * pitch, Y0: cy * pitch, X1: cx*pitch + w, Y1: cy*pitch + w}
+}
+
+// wire builds a straight wire rect spanning cells [c0,c1] along the given
+// axis at fixed cross coordinate.
+func wire(horiz bool, fixed, c0, c1 int) geom.Rect {
+	if horiz {
+		a := cellRect(c0, fixed)
+		b := cellRect(c1, fixed)
+		return a.Union(b)
+	}
+	a := cellRect(fixed, c0)
+	b := cellRect(fixed, c1)
+	return a.Union(b)
+}
+
+// scenarioGeoms are the canonical two-pattern configurations of the 11
+// potential overlay scenarios (Theorem 2), keyed by (Xmin, Ymin, Dir).
+type scenGeom struct {
+	name string
+	a, b geom.Rect
+}
+
+func scenarioGeoms() []scenGeom {
+	return []scenGeom{
+		{"(0,1,par)", wire(true, 5, 0, 4), wire(true, 6, 0, 4)},
+		{"(0,2,par)", wire(true, 5, 0, 4), wire(true, 7, 0, 4)},
+		{"(1,0,par)", wire(true, 5, 0, 4), wire(true, 5, 5, 9)},
+		{"(2,0,par)", wire(true, 5, 0, 4), wire(true, 5, 6, 10)},
+		{"(0,1,perp)", wire(false, 2, 6, 10), wire(true, 5, 0, 4)},
+		{"(0,2,perp)", wire(false, 2, 7, 11), wire(true, 5, 0, 4)},
+		{"(1,1,par)", wire(true, 5, 0, 4), wire(true, 6, 5, 9)},
+		{"(1,2,par)", wire(true, 5, 0, 4), wire(true, 7, 5, 9)},
+		{"(2,1,par)", wire(true, 5, 0, 4), wire(true, 6, 6, 10)},
+		{"(1,1,perp)", wire(false, 2, 6, 10), wire(true, 5, 3, 7)},
+		{"(1,2,perp)", wire(false, 2, 6, 10), wire(true, 4, 3, 7)},
+	}
+}
+
+func twoPatternLayout(a, b geom.Rect, ca, cb Color) Layout {
+	return Layout{
+		Rules: rules.Node10nm(),
+		Die:   geom.Rect{X0: -400, Y0: -400, X1: 800, Y1: 800},
+		Pats: []Pattern{
+			{Net: 0, Color: ca, Rects: []geom.Rect{a}},
+			{Net: 1, Color: cb, Rects: []geom.Rect{b}},
+		},
+	}
+}
+
+// TestEnumerateScenarios prints the oracle's verdict for every scenario and
+// color assignment — the data behind the paper's Table II and Figs. 24-34.
+// Run with -v to see the table.
+func TestEnumerateScenarios(t *testing.T) {
+	asg := []struct {
+		name   string
+		ca, cb Color
+	}{
+		{"CC", Core, Core}, {"CS", Core, Second},
+		{"SC", Second, Core}, {"SS", Second, Second},
+	}
+	for _, g := range scenarioGeoms() {
+		for _, as := range asg {
+			ly := twoPatternLayout(g.a, g.b, as.ca, as.cb)
+			res := DecomposeCut(ly)
+			t.Logf("%-11s %s: SO=%3d nm (%.1f u) hard=%d conf=%d tip=%3d viol=%d",
+				g.name, as.name, res.SideOverlayNM, res.SideOverlayUnits,
+				res.HardOverlays, len(res.Conflicts), res.TipOverlayNM, len(res.Violations))
+		}
+	}
+}

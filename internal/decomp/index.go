@@ -1,0 +1,82 @@
+package decomp
+
+import "sadproute/internal/geom"
+
+// rectIndex is a uniform-bucket spatial index over rectangles, used for all
+// proximity queries in the oracle (assist keepouts, merge-pair search,
+// boundary-protection coverage). Bucket size is a few track pitches so a
+// query touches O(1) buckets for the short interaction ranges of SADP rules.
+type rectIndex struct {
+	cell  int
+	m     map[geom.Pt][]int32
+	n     int
+	stamp []int32
+	cur   int32
+}
+
+func newRectIndex(cell int) *rectIndex {
+	if cell <= 0 {
+		cell = 200
+	}
+	return &rectIndex{cell: cell, m: make(map[geom.Pt][]int32)}
+}
+
+func (ix *rectIndex) buckets(r geom.Rect) (bx0, by0, bx1, by1 int) {
+	return floordiv(r.X0, ix.cell), floordiv(r.Y0, ix.cell),
+		floordiv(r.X1-1, ix.cell), floordiv(r.Y1-1, ix.cell)
+}
+
+// add registers rect r under integer id. Ids must be assigned densely from
+// zero in insertion order.
+func (ix *rectIndex) add(id int, r geom.Rect) {
+	if r.Empty() {
+		// Keep the stamp table aligned with ids even for empty rects.
+		if id >= ix.n {
+			ix.n = id + 1
+		}
+		return
+	}
+	bx0, by0, bx1, by1 := ix.buckets(r)
+	for by := by0; by <= by1; by++ {
+		for bx := bx0; bx <= bx1; bx++ {
+			k := geom.Pt{X: bx, Y: by}
+			ix.m[k] = append(ix.m[k], int32(id))
+		}
+	}
+	if id >= ix.n {
+		ix.n = id + 1
+	}
+}
+
+// query calls fn exactly once for every registered id whose rect's buckets
+// intersect r's buckets. Callers re-check precise geometry themselves.
+func (ix *rectIndex) query(r geom.Rect, fn func(id int)) {
+	if r.Empty() {
+		return
+	}
+	if len(ix.stamp) < ix.n {
+		ix.stamp = make([]int32, ix.n)
+		ix.cur = 0
+	}
+	ix.cur++
+	bx0, by0, bx1, by1 := ix.buckets(r)
+	for by := by0; by <= by1; by++ {
+		for bx := bx0; bx <= bx1; bx++ {
+			for _, id := range ix.m[geom.Pt{X: bx, Y: by}] {
+				if ix.stamp[id] == ix.cur {
+					continue
+				}
+				ix.stamp[id] = ix.cur
+				fn(int(id))
+			}
+		}
+	}
+}
+
+func floordiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

@@ -1,0 +1,133 @@
+// Package fragstore indexes routed wire fragments (Theorem 3 rectangles in
+// grid-cell coordinates) per layer for scenario detection, with removal
+// support for rip-up. It is shared by the paper's router and the baseline
+// routers.
+package fragstore
+
+import (
+	"sort"
+
+	"sadproute/internal/geom"
+	"sadproute/internal/grid"
+)
+
+// Frag is one rectangle fragment of a net's wiring on one layer, in cell
+// coordinates (Theorem 3 fragmentation).
+type Frag struct {
+	Net   int
+	Rect  geom.Rect
+	alive bool
+}
+
+// fragStore indexes the routed fragments of one layer for scenario
+// detection; it supports removal for rip-up.
+type Store struct {
+	frags   []Frag
+	byNet   map[int][]int32
+	buckets map[geom.Pt][]int32
+	bucket  int
+}
+
+func New() *Store {
+	return &Store{
+		byNet:   make(map[int][]int32),
+		buckets: make(map[geom.Pt][]int32),
+		bucket:  16, // cells per bucket
+	}
+}
+
+func (fs *Store) keyRange(r geom.Rect) (x0, y0, x1, y1 int) {
+	return fdiv(r.X0, fs.bucket), fdiv(r.Y0, fs.bucket),
+		fdiv(r.X1-1, fs.bucket), fdiv(r.Y1-1, fs.bucket)
+}
+
+// add registers the fragments of net on this layer and returns their ids.
+func (fs *Store) Add(net int, rects []geom.Rect) []int32 {
+	ids := make([]int32, 0, len(rects))
+	for _, r := range rects {
+		id := int32(len(fs.frags))
+		fs.frags = append(fs.frags, Frag{Net: net, Rect: r, alive: true})
+		fs.byNet[net] = append(fs.byNet[net], id)
+		x0, y0, x1, y1 := fs.keyRange(r)
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				k := geom.Pt{X: x, Y: y}
+				fs.buckets[k] = append(fs.buckets[k], id)
+			}
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// removeNet tombstones all fragments of a net (rip-up).
+func (fs *Store) RemoveNet(net int) {
+	for _, id := range fs.byNet[net] {
+		fs.frags[id].alive = false
+	}
+	delete(fs.byNet, net)
+}
+
+// query invokes fn once per live fragment whose bucket range intersects r.
+func (fs *Store) Query(r geom.Rect, fn func(f Frag)) {
+	seen := make(map[int32]bool, 8)
+	x0, y0, x1, y1 := fs.keyRange(r)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			for _, id := range fs.buckets[geom.Pt{X: x, Y: y}] {
+				if seen[id] || !fs.frags[id].alive {
+					continue
+				}
+				seen[id] = true
+				fn(fs.frags[id])
+			}
+		}
+	}
+}
+
+// netRects returns the live rects of a net.
+func (fs *Store) NetRects(net int) []geom.Rect {
+	ids := fs.byNet[net]
+	out := make([]geom.Rect, 0, len(ids))
+	for _, id := range ids {
+		if fs.frags[id].alive {
+			out = append(out, fs.frags[id].Rect)
+		}
+	}
+	return out
+}
+
+// NetIDs returns the sorted net ids with live fragments.
+func (fs *Store) NetIDs() []int {
+	out := make([]int, 0, len(fs.byNet))
+	for n := range fs.byNet {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Has reports whether the net has live fragments.
+func (fs *Store) Has(net int) bool { return len(fs.byNet[net]) > 0 }
+
+// CellsByLayer splits a routed path into per-layer cell sets.
+func CellsByLayer(path []grid.Cell, layers int) [][]geom.Pt {
+	out := make([][]geom.Pt, layers)
+	seen := make(map[grid.Cell]bool, len(path))
+	for _, c := range path {
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		out[c.L] = append(out[c.L], geom.Pt{X: c.X, Y: c.Y})
+	}
+	return out
+}
+
+func fdiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

@@ -1,0 +1,71 @@
+package fragstore
+
+import (
+	"testing"
+
+	"sadproute/internal/geom"
+	"sadproute/internal/grid"
+)
+
+func TestAddQueryRemove(t *testing.T) {
+	fs := New()
+	fs.Add(1, []geom.Rect{{X0: 0, Y0: 0, X1: 5, Y1: 1}})
+	fs.Add(2, []geom.Rect{{X0: 0, Y0: 3, X1: 5, Y1: 4}, {X0: 10, Y0: 10, X1: 11, Y1: 15}})
+
+	// Queries are bucket-coarse: they may report extra fragments from the
+	// same bucket (callers re-check geometry) but never miss an
+	// intersecting one and never repeat a fragment.
+	seenRects := map[geom.Rect]int{}
+	fs.Query(geom.Rect{X0: 0, Y0: 0, X1: 6, Y1: 6}, func(f Frag) { seenRects[f.Rect]++ })
+	if seenRects[geom.Rect{X0: 0, Y0: 0, X1: 5, Y1: 1}] != 1 ||
+		seenRects[geom.Rect{X0: 0, Y0: 3, X1: 5, Y1: 4}] != 1 {
+		t.Fatalf("query missed or repeated fragments: %v", seenRects)
+	}
+	for r, n := range seenRects {
+		if n != 1 {
+			t.Fatalf("fragment %v reported %d times", r, n)
+		}
+	}
+
+	if got := fs.NetRects(2); len(got) != 2 {
+		t.Fatalf("NetRects: %v", got)
+	}
+	if ids := fs.NetIDs(); len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("NetIDs: %v", ids)
+	}
+	if !fs.Has(1) || fs.Has(3) {
+		t.Fatal("Has wrong")
+	}
+
+	fs.RemoveNet(1)
+	seen := map[int]int{}
+	fs.Query(geom.Rect{X0: 0, Y0: 0, X1: 20, Y1: 20}, func(f Frag) { seen[f.Net]++ })
+	if seen[1] != 0 || seen[2] != 2 {
+		t.Fatalf("after removal: %v", seen)
+	}
+	if fs.Has(1) {
+		t.Fatal("removed net still present")
+	}
+}
+
+func TestQueryDedup(t *testing.T) {
+	fs := New()
+	// One big fragment spanning many buckets must be reported once.
+	fs.Add(7, []geom.Rect{{X0: 0, Y0: 0, X1: 100, Y1: 1}})
+	count := 0
+	fs.Query(geom.Rect{X0: 0, Y0: 0, X1: 100, Y1: 2}, func(f Frag) { count++ })
+	if count != 1 {
+		t.Fatalf("dedup failed: %d", count)
+	}
+}
+
+func TestCellsByLayer(t *testing.T) {
+	path := []grid.Cell{
+		{X: 0, Y: 0, L: 0}, {X: 1, Y: 0, L: 0}, {X: 1, Y: 0, L: 1},
+		{X: 1, Y: 1, L: 1}, {X: 1, Y: 0, L: 1}, // duplicate cell
+	}
+	by := CellsByLayer(path, 3)
+	if len(by[0]) != 2 || len(by[1]) != 2 || len(by[2]) != 0 {
+		t.Fatalf("split: %v", by)
+	}
+}

@@ -1,0 +1,95 @@
+package geom
+
+import "sort"
+
+// FragmentCells decomposes a set of unit cells (e.g. the grid cells occupied
+// by one net on one layer) into maximal straight run rectangles, the
+// fragmentation step of the paper's Theorem 3: every rectilinear polygon is
+// fragmented into rectangles before potential-overlay-scenario
+// classification.
+//
+// The decomposition emits every maximal horizontal run of length >= 2 and
+// every maximal vertical run of length >= 2 as a 1-track-wide Rect (in cell
+// coordinates, half-open), plus a 1x1 Rect for each isolated cell that
+// belongs to no run. A corner cell of an L-shaped path is part of both its
+// horizontal and its vertical run; the resulting overlap is harmless for
+// pairwise scenario classification because both rects belong to the same
+// polygon.
+//
+// The result is deterministic: rects are sorted by (Y0, X0, X1, Y1).
+func FragmentCells(cells []Pt) []Rect {
+	if len(cells) == 0 {
+		return nil
+	}
+	set := make(map[Pt]bool, len(cells))
+	for _, c := range cells {
+		set[c] = true
+	}
+	inRun := make(map[Pt]bool, len(cells))
+	var out []Rect
+
+	// Maximal horizontal runs.
+	for _, c := range cells {
+		if set[Pt{c.X - 1, c.Y}] {
+			continue // not a run start
+		}
+		x1 := c.X + 1
+		for set[Pt{x1, c.Y}] {
+			x1++
+		}
+		if x1-c.X >= 2 {
+			out = append(out, Rect{c.X, c.Y, x1, c.Y + 1})
+			for x := c.X; x < x1; x++ {
+				inRun[Pt{x, c.Y}] = true
+			}
+		}
+	}
+	// Maximal vertical runs.
+	for _, c := range cells {
+		if set[Pt{c.X, c.Y - 1}] {
+			continue
+		}
+		y1 := c.Y + 1
+		for set[Pt{c.X, y1}] {
+			y1++
+		}
+		if y1-c.Y >= 2 {
+			out = append(out, Rect{c.X, c.Y, c.X + 1, y1})
+			for y := c.Y; y < y1; y++ {
+				inRun[Pt{c.X, y}] = true
+			}
+		}
+	}
+	// Isolated cells.
+	for _, c := range cells {
+		if !inRun[c] {
+			out = append(out, Rect{c.X, c.Y, c.X + 1, c.Y + 1})
+			inRun[c] = true
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Y0 != b.Y0 {
+			return a.Y0 < b.Y0
+		}
+		if a.X0 != b.X0 {
+			return a.X0 < b.X0
+		}
+		if a.X1 != b.X1 {
+			return a.X1 < b.X1
+		}
+		return a.Y1 < b.Y1
+	})
+	return out
+}
+
+// CellsOfRect expands a cell-coordinate Rect back into its unit cells.
+func CellsOfRect(r Rect) []Pt {
+	cells := make([]Pt, 0, r.Area())
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			cells = append(cells, Pt{x, y})
+		}
+	}
+	return cells
+}

@@ -1,0 +1,230 @@
+// Package geom provides integer geometry primitives for SADP layout
+// processing. All coordinates are integers; the unit is chosen by the caller
+// (nanometers for mask geometry, track indices for routing-grid geometry).
+//
+// Rectangles use half-open extents: a Rect covers points p with
+// X0 <= p.X < X1 and Y0 <= p.Y < Y1. A Rect with X1 <= X0 or Y1 <= Y0 is
+// empty.
+package geom
+
+import "fmt"
+
+// Pt is a 2-D integer point.
+type Pt struct {
+	X, Y int
+}
+
+// Add returns the translation of p by q.
+func (p Pt) Add(q Pt) Pt { return Pt{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the translation of p by -q.
+func (p Pt) Sub(q Pt) Pt { return Pt{p.X - q.X, p.Y - q.Y} }
+
+// Manhattan returns the L1 distance between p and q.
+func (p Pt) Manhattan(q Pt) int { return abs(p.X-q.X) + abs(p.Y-q.Y) }
+
+func (p Pt) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Rect is a half-open axis-aligned rectangle [X0,X1) x [Y0,Y1).
+type Rect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// R is a convenience constructor that canonicalizes its arguments so the
+// result is never inverted.
+func R(x0, y0, x1, y1 int) Rect {
+	if x1 < x0 {
+		x0, x1 = x1, x0
+	}
+	if y1 < y0 {
+		y0, y1 = y1, y0
+	}
+	return Rect{x0, y0, x1, y1}
+}
+
+// Empty reports whether r covers no points.
+func (r Rect) Empty() bool { return r.X1 <= r.X0 || r.Y1 <= r.Y0 }
+
+// W returns the width of r (zero if empty).
+func (r Rect) W() int {
+	if r.X1 <= r.X0 {
+		return 0
+	}
+	return r.X1 - r.X0
+}
+
+// H returns the height of r (zero if empty).
+func (r Rect) H() int {
+	if r.Y1 <= r.Y0 {
+		return 0
+	}
+	return r.Y1 - r.Y0
+}
+
+// Area returns the area of r.
+func (r Rect) Area() int { return r.W() * r.H() }
+
+// Contains reports whether p lies inside r.
+func (r Rect) Contains(p Pt) bool {
+	return p.X >= r.X0 && p.X < r.X1 && p.Y >= r.Y0 && p.Y < r.Y1
+}
+
+// ContainsRect reports whether s is entirely inside r. An empty s is
+// contained in everything.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.Empty() {
+		return true
+	}
+	return s.X0 >= r.X0 && s.X1 <= r.X1 && s.Y0 >= r.Y0 && s.Y1 <= r.Y1
+}
+
+// Intersects reports whether r and s share at least one point.
+func (r Rect) Intersects(s Rect) bool {
+	return r.X0 < s.X1 && s.X0 < r.X1 && r.Y0 < s.Y1 && s.Y0 < r.Y1
+}
+
+// Intersect returns the intersection of r and s (possibly empty).
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		X0: max(r.X0, s.X0),
+		Y0: max(r.Y0, s.Y0),
+		X1: min(r.X1, s.X1),
+		Y1: min(r.Y1, s.Y1),
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// Union returns the bounding box of r and s; if one is empty the other is
+// returned.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		X0: min(r.X0, s.X0),
+		Y0: min(r.Y0, s.Y0),
+		X1: max(r.X1, s.X1),
+		Y1: max(r.Y1, s.Y1),
+	}
+}
+
+// Expand grows r by d on every side (shrinks when d is negative).
+func (r Rect) Expand(d int) Rect {
+	out := Rect{r.X0 - d, r.Y0 - d, r.X1 + d, r.Y1 + d}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// Translate shifts r by p.
+func (r Rect) Translate(p Pt) Rect {
+	return Rect{r.X0 + p.X, r.Y0 + p.Y, r.X1 + p.X, r.Y1 + p.Y}
+}
+
+// GapX returns the horizontal clearance between r and s: 0 when their X
+// extents overlap or touch, otherwise the size of the open gap.
+func (r Rect) GapX(s Rect) int {
+	switch {
+	case s.X0 >= r.X1:
+		return s.X0 - r.X1
+	case r.X0 >= s.X1:
+		return r.X0 - s.X1
+	default:
+		return 0
+	}
+}
+
+// GapY returns the vertical clearance between r and s (see GapX).
+func (r Rect) GapY(s Rect) int {
+	switch {
+	case s.Y0 >= r.Y1:
+		return s.Y0 - r.Y1
+	case r.Y0 >= s.Y1:
+		return r.Y0 - s.Y1
+	default:
+		return 0
+	}
+}
+
+// DistSq returns the squared Euclidean distance between the closest
+// boundary points of r and s (0 when they intersect or touch).
+func (r Rect) DistSq(s Rect) int {
+	dx := r.GapX(s)
+	dy := r.GapY(s)
+	return dx*dx + dy*dy
+}
+
+// OverlapX returns the length of the shared X interval of r and s
+// (0 when disjoint in X).
+func (r Rect) OverlapX(s Rect) int {
+	lo := max(r.X0, s.X0)
+	hi := min(r.X1, s.X1)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// OverlapY returns the length of the shared Y interval of r and s.
+func (r Rect) OverlapY(s Rect) int {
+	lo := max(r.Y0, s.Y0)
+	hi := min(r.Y1, s.Y1)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Center returns the center point of r, rounded down.
+func (r Rect) Center() Pt { return Pt{(r.X0 + r.X1) / 2, (r.Y0 + r.Y1) / 2} }
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d)x[%d,%d)", r.X0, r.X1, r.Y0, r.Y1)
+}
+
+// Orientation describes the long axis of a rectangle.
+type Orientation int
+
+const (
+	// Square rects (W == H) report OrientNone.
+	OrientNone Orientation = iota
+	OrientH                // wider than tall
+	OrientV                // taller than wide
+)
+
+// Orient returns the dominant orientation of r.
+func (r Rect) Orient() Orientation {
+	switch {
+	case r.W() > r.H():
+		return OrientH
+	case r.H() > r.W():
+		return OrientV
+	default:
+		return OrientNone
+	}
+}
+
+func (o Orientation) String() string {
+	switch o {
+	case OrientH:
+		return "H"
+	case OrientV:
+		return "V"
+	default:
+		return "·"
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,93 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sadproute/internal/geom"
+	"sadproute/internal/grid"
+	"sadproute/internal/rules"
+)
+
+func sample() *Netlist {
+	return &Netlist{
+		Name: "t", W: 16, H: 16, Layers: 3,
+		Blockages: []Blockage{{L: 1, Rect: geom.Rect{X0: 2, Y0: 2, X1: 5, Y1: 4}}},
+		Nets: []Net{
+			{ID: 0, Name: "n0",
+				A: Pin{Candidates: []grid.Cell{{X: 1, Y: 1}}},
+				B: Pin{Candidates: []grid.Cell{{X: 9, Y: 9}, {X: 9, Y: 8, L: 1}}}},
+			{ID: 1, Name: "n1",
+				A: Pin{Candidates: []grid.Cell{{X: 3, Y: 7}}},
+				B: Pin{Candidates: []grid.Cell{{X: 3, Y: 12}}}},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	nl := sample()
+	var buf bytes.Buffer
+	if err := nl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != nl.Name || got.W != nl.W || len(got.Nets) != len(nl.Nets) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.Nets[0].B.Candidates[1] != (grid.Cell{X: 9, Y: 8, L: 1}) {
+		t.Fatalf("candidate mismatch: %+v", got.Nets[0].B)
+	}
+	if len(got.Blockages) != 1 || got.Blockages[0].Rect != nl.Blockages[0].Rect {
+		t.Fatalf("blockage mismatch: %+v", got.Blockages)
+	}
+}
+
+func TestValidateRejectsOffGrid(t *testing.T) {
+	nl := sample()
+	nl.Nets[1].A.Candidates[0].X = 99
+	if err := nl.Validate(); err == nil {
+		t.Fatal("off-grid pin must fail validation")
+	}
+}
+
+func TestValidateRejectsSparseIDs(t *testing.T) {
+	nl := sample()
+	nl.Nets[1].ID = 5
+	if err := nl.Validate(); err == nil {
+		t.Fatal("non-dense ids must fail validation")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("grid 4 4 1\nbogus directive\n")); err == nil {
+		t.Fatal("unknown directive must error")
+	}
+	if _, err := Read(strings.NewReader("grid 4 4 1\nnet x (1,1,0) >> (2,2,0)\n")); err == nil {
+		t.Fatal("malformed net must error")
+	}
+}
+
+func TestHPWL(t *testing.T) {
+	n := Net{
+		A: Pin{Candidates: []grid.Cell{{X: 0, Y: 0}}},
+		B: Pin{Candidates: []grid.Cell{{X: 3, Y: 4}, {X: 1, Y: 1}}},
+	}
+	if n.HPWL() != 2 {
+		t.Fatalf("HPWL should take the closest pair, got %d", n.HPWL())
+	}
+}
+
+func TestBuildGridAppliesBlockages(t *testing.T) {
+	nl := sample()
+	g := nl.BuildGrid(rules.Node10nm())
+	if g.At(grid.Cell{X: 3, Y: 3, L: 1}) != grid.Blocked {
+		t.Fatal("blockage not applied")
+	}
+	if g.At(grid.Cell{X: 3, Y: 3, L: 0}) != grid.Free {
+		t.Fatal("wrong layer blocked")
+	}
+}

@@ -1,0 +1,311 @@
+// Package ocg implements the paper's overlay constraint graph (Section
+// III-B): one graph per routing layer, a vertex per routed net, and an
+// aggregated scenario-profile edge per net pair. Hard color relations
+// (same-color / different-color constraints from types 1-a, 1-b, 2-a and
+// conflict-forbidden assignments) feed an incremental parity union-find —
+// the constant-time odd-cycle detector the paper adapts from LELE
+// decomposition — while nonhard relations carry the side-overlay cost
+// matrices consumed by pseudo-coloring and the color-flipping DP.
+//
+// The paper models same-color constraints with dummy vertices and reduces
+// even hard cycles into super vertices; both devices are subsumed here by
+// carrying signed parities directly in the union-find and full cost
+// matrices on the edges, which is expressively equivalent and keeps
+// AddScenario amortized near-constant.
+package ocg
+
+import (
+	"sort"
+
+	"sadproute/internal/scenario"
+)
+
+// Edge aggregates every potential overlay scenario detected between one
+// ordered net pair (A < B): costs add, forbidden/conflict flags accumulate.
+type Edge struct {
+	A, B  int
+	Prof  scenario.Profile
+	Count int // number of aggregated scenarios
+}
+
+// Other returns the edge endpoint that is not n.
+func (e *Edge) Other(n int) int {
+	if e.A == n {
+		return e.B
+	}
+	return e.A
+}
+
+// ProfileFor returns the edge profile oriented so that n plays role A.
+func (e *Edge) ProfileFor(n int) scenario.Profile {
+	if e.A == n {
+		return e.Prof
+	}
+	return swapProfile(e.Prof)
+}
+
+func swapProfile(p scenario.Profile) scenario.Profile {
+	q := p
+	for a := scenario.CC; a <= scenario.SS; a++ {
+		q.Cost[a.Swap()] = p.Cost[a]
+		q.Forbidden[a.Swap()] = p.Forbidden[a]
+		q.Conflict[a.Swap()] = p.Conflict[a]
+	}
+	return q
+}
+
+// HardKind classifies an aggregated edge for the parity structure.
+type HardKind uint8
+
+const (
+	Soft HardKind = iota
+	HardSame
+	HardDiff
+	Contradiction // both same and diff forbidden: no feasible assignment
+)
+
+// Kind returns the parity classification of the aggregated profile.
+func Kind(p scenario.Profile) HardKind {
+	sameBad := p.Forbidden[scenario.CC] && p.Forbidden[scenario.SS]
+	diffBad := p.Forbidden[scenario.CS] && p.Forbidden[scenario.SC]
+	switch {
+	case sameBad && diffBad:
+		return Contradiction
+	case sameBad:
+		return HardDiff
+	case diffBad:
+		return HardSame
+	default:
+		return Soft
+	}
+}
+
+// Graph is one layer's overlay constraint graph.
+type Graph struct {
+	edges map[[2]int]*Edge
+	adj   map[int][]*Edge
+
+	pf      parityForest
+	pfDirty bool
+	// OddCycles counts hard-constraint odd cycles currently present (kept
+	// nonzero until the offending edges are removed by rip-up).
+	OddCycles int
+}
+
+// New returns an empty overlay constraint graph.
+func New() *Graph {
+	return &Graph{
+		edges: make(map[[2]int]*Edge),
+		adj:   make(map[int][]*Edge),
+		pf:    newParityForest(),
+	}
+}
+
+// AddScenario merges one scenario profile (oriented a→b) into the graph.
+// It reports whether the addition created a hard-constraint odd cycle or an
+// infeasible (contradictory) edge — either condition obliges the router to
+// rip up the newly routed net.
+func (g *Graph) AddScenario(a, b int, p scenario.Profile) (oddCycle, infeasible bool) {
+	if a == b {
+		return false, false
+	}
+	if a > b {
+		a, b = b, a
+		p = swapProfile(p)
+	}
+	key := [2]int{a, b}
+	e := g.edges[key]
+	prevKind := Soft
+	if e == nil {
+		e = &Edge{A: a, B: b, Prof: p, Count: 1}
+		g.edges[key] = e
+		g.adj[a] = append(g.adj[a], e)
+		g.adj[b] = append(g.adj[b], e)
+	} else {
+		prevKind = Kind(e.Prof)
+		for i := scenario.CC; i <= scenario.SS; i++ {
+			e.Prof.Cost[i] += p.Cost[i]
+			e.Prof.Forbidden[i] = e.Prof.Forbidden[i] || p.Forbidden[i]
+			e.Prof.Conflict[i] = e.Prof.Conflict[i] || p.Conflict[i]
+		}
+		if e.Prof.Type != p.Type {
+			e.Prof.Type = e.Prof.Type + "+" + p.Type
+		}
+		e.Count++
+	}
+	k := Kind(e.Prof)
+	if k == Contradiction {
+		return false, true
+	}
+	if k == prevKind || k == Soft {
+		return false, false
+	}
+	if g.pfDirty {
+		g.rebuildParity()
+		return g.OddCycles > 0, false
+	}
+	if !g.pf.union(a, b, parityOf(k)) {
+		g.OddCycles++
+		return true, false
+	}
+	return false, false
+}
+
+func parityOf(k HardKind) int {
+	if k == HardDiff {
+		return 1
+	}
+	return 0
+}
+
+// RemoveNet deletes every edge incident to net n (rip-up) and schedules a
+// parity rebuild.
+func (g *Graph) RemoveNet(n int) {
+	es := g.adj[n]
+	if len(es) == 0 {
+		return
+	}
+	delete(g.adj, n)
+	for _, e := range es {
+		o := e.Other(n)
+		delete(g.edges, [2]int{e.A, e.B})
+		lst := g.adj[o]
+		for i, x := range lst {
+			if x == e {
+				lst[i] = lst[len(lst)-1]
+				g.adj[o] = lst[:len(lst)-1]
+				break
+			}
+		}
+	}
+	g.pfDirty = true
+	g.rebuildParity()
+}
+
+// rebuildParity reconstructs the parity forest from the surviving hard
+// edges and recounts odd cycles.
+func (g *Graph) rebuildParity() {
+	g.pf = newParityForest()
+	g.OddCycles = 0
+	// Deterministic order: sort edge keys.
+	keys := make([][2]int, 0, len(g.edges))
+	for k, e := range g.edges {
+		if kk := Kind(e.Prof); kk == HardSame || kk == HardDiff {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		e := g.edges[k]
+		if !g.pf.union(e.A, e.B, parityOf(Kind(e.Prof))) {
+			g.OddCycles++
+		}
+	}
+	g.pfDirty = false
+}
+
+// EdgeBetween returns the aggregated edge between two nets, or nil.
+func (g *Graph) EdgeBetween(a, b int) *Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return g.edges[[2]int{a, b}]
+}
+
+// Edges returns the edges incident to net n (do not modify).
+func (g *Graph) Edges(n int) []*Edge { return g.adj[n] }
+
+// EdgeCount returns the number of aggregated edges in the graph.
+func (g *Graph) EdgeCount() int { return len(g.edges) }
+
+// Component returns the nets connected to n (including n) through any
+// edges, in sorted order.
+func (g *Graph) Component(n int) []int {
+	seen := map[int]bool{n: true}
+	stack := []int{n}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[v] {
+			o := e.Other(v)
+			if !seen[o] {
+				seen[o] = true
+				stack = append(stack, o)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ComponentEdges returns the unique edges among the given nets.
+func (g *Graph) ComponentEdges(nets []int) []*Edge {
+	in := make(map[int]bool, len(nets))
+	for _, n := range nets {
+		in[n] = true
+	}
+	var out []*Edge
+	for _, n := range nets {
+		for _, e := range g.adj[n] {
+			if e.A == n && in[e.B] { // emit once, from the A side
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// parityForest is a union-find with edge parities: parity 0 links vertices
+// constrained to the same color, parity 1 to different colors. union
+// reports false when the new relation closes an odd (inconsistent) cycle.
+type parityForest struct {
+	parent map[int]int
+	par    map[int]int
+}
+
+func newParityForest() parityForest {
+	return parityForest{parent: make(map[int]int), par: make(map[int]int)}
+}
+
+func (f parityForest) find(x int) (root, parity int) {
+	p, ok := f.parent[x]
+	if !ok {
+		f.parent[x] = x
+		f.par[x] = 0
+		return x, 0
+	}
+	if p == x {
+		return x, 0
+	}
+	r, rp := f.find(p)
+	// Path compression with parity accumulation.
+	f.parent[x] = r
+	f.par[x] ^= rp
+	return r, f.par[x]
+}
+
+func (f parityForest) union(a, b, parity int) bool {
+	ra, pa := f.find(a)
+	rb, pb := f.find(b)
+	if ra == rb {
+		return pa^pb == parity
+	}
+	f.parent[ra] = rb
+	f.par[ra] = pa ^ pb ^ parity
+	return true
+}

@@ -1,0 +1,137 @@
+// Package render draws decomposed SADP layouts as SVG (and coarse ASCII)
+// for the reproduction of the paper's Figs. 21-22: target patterns colored
+// by mask, assistant cores, merge bridges, and overlay segments.
+package render
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"sadproute/internal/decomp"
+	"sadproute/internal/geom"
+)
+
+// SVG writes an SVG rendering of one layer's decomposition restricted to
+// the given window (nm coordinates).
+func SVG(w io.Writer, ly decomp.Layout, res *decomp.Result, window geom.Rect) error {
+	scale := 0.5 // px per nm
+	width := float64(window.W()) * scale
+	height := float64(window.H()) * scale
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(w, `<rect width="%.0f" height="%.0f" fill="#fafafa"/>`+"\n", width, height)
+
+	put := func(r geom.Rect, fill string, opacity float64) {
+		c := r.Intersect(window)
+		if c.Empty() {
+			return
+		}
+		fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="%.2f"/>`+"\n",
+			float64(c.X0-window.X0)*scale,
+			// SVG y grows downward; flip so the layout reads like the paper.
+			height-float64(c.Y1-window.Y0)*scale,
+			float64(c.W())*scale, float64(c.H())*scale, fill, opacity)
+	}
+
+	// Material first (assists, bridges), then targets, then overlays.
+	for _, m := range res.Materials {
+		switch m.Kind {
+		case decomp.MatAssist:
+			put(m.Rect, "#b0b0b0", 0.7)
+		case decomp.MatBridge:
+			put(m.Rect, "#e8a33d", 0.8)
+		}
+	}
+	for _, p := range ly.Pats {
+		fill := "#3b6fb6" // core: blue
+		if p.Color == decomp.Second {
+			fill = "#3f9e4d" // second: green
+		}
+		for _, r := range p.Rects {
+			put(r, fill, 1.0)
+		}
+	}
+	// Overlay segments as red strokes on the boundary.
+	for _, o := range res.Overlays {
+		if o.Tip {
+			continue
+		}
+		put(overlayRect(o), "#d43a3a", 1.0)
+	}
+	fmt.Fprintln(w, `</svg>`)
+	return nil
+}
+
+// overlayRect thickens an overlay boundary segment into a thin rect for
+// drawing.
+func overlayRect(o decomp.Overlay) geom.Rect {
+	const t = 6 // nm stroke
+	switch o.Side {
+	case decomp.SideLeft:
+		return geom.Rect{X0: o.Rect.X0 - t, Y0: o.Lo, X1: o.Rect.X0, Y1: o.Hi}
+	case decomp.SideRight:
+		return geom.Rect{X0: o.Rect.X1, Y0: o.Lo, X1: o.Rect.X1 + t, Y1: o.Hi}
+	case decomp.SideBottom:
+		return geom.Rect{X0: o.Lo, Y0: o.Rect.Y0 - t, X1: o.Hi, Y1: o.Rect.Y0}
+	default:
+		return geom.Rect{X0: o.Lo, Y0: o.Rect.Y1, X1: o.Hi, Y1: o.Rect.Y1 + t}
+	}
+}
+
+// ASCII renders the window as a track-grid character map: C/S for core and
+// second patterns, a for assists, b for bridges, '!' marks cells whose
+// pattern carries a (non-tip) overlay.
+func ASCII(ly decomp.Layout, res *decomp.Result, window geom.Rect, pitch int) string {
+	w := (window.W() + pitch - 1) / pitch
+	h := (window.H() + pitch - 1) / pitch
+	gridc := make([][]byte, h)
+	for i := range gridc {
+		gridc[i] = []byte(strings.Repeat(".", w))
+	}
+	put := func(r geom.Rect, ch byte, force bool) {
+		c := r.Intersect(window)
+		if c.Empty() {
+			return
+		}
+		for y := (c.Y0 - window.Y0) / pitch; y <= (c.Y1-1-window.Y0)/pitch && y < h; y++ {
+			for x := (c.X0 - window.X0) / pitch; x <= (c.X1-1-window.X0)/pitch && x < w; x++ {
+				if y < 0 || x < 0 {
+					continue
+				}
+				if force || gridc[y][x] == '.' {
+					gridc[y][x] = ch
+				}
+			}
+		}
+	}
+	for _, m := range res.Materials {
+		switch m.Kind {
+		case decomp.MatAssist:
+			put(m.Rect, 'a', false)
+		case decomp.MatBridge:
+			put(m.Rect, 'b', false)
+		}
+	}
+	for _, p := range ly.Pats {
+		ch := byte('C')
+		if p.Color == decomp.Second {
+			ch = 'S'
+		}
+		for _, r := range p.Rects {
+			put(r, ch, true)
+		}
+	}
+	for _, o := range res.Overlays {
+		if o.Tip {
+			continue
+		}
+		put(overlayRect(o).Expand(2), '!', true)
+	}
+	var b strings.Builder
+	for y := h - 1; y >= 0; y-- { // top row first
+		b.Write(gridc[y])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sadproute/internal/decomp"
+	"sadproute/internal/geom"
+	"sadproute/internal/rules"
+)
+
+func demoLayout() (decomp.Layout, *decomp.Result) {
+	ds := rules.Node10nm()
+	ly := decomp.Layout{
+		Rules: ds,
+		Die:   geom.Rect{X0: -200, Y0: -200, X1: 800, Y1: 800},
+		Pats: []decomp.Pattern{
+			{Net: 0, Color: decomp.Core, Rects: []geom.Rect{{X0: 0, Y0: 200, X1: 180, Y1: 220}}},
+			{Net: 1, Color: decomp.Second, Rects: []geom.Rect{{X0: 0, Y0: 240, X1: 180, Y1: 260}}},
+		},
+	}
+	return ly, decomp.DecomposeCut(ly)
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	ly, res := demoLayout()
+	var buf bytes.Buffer
+	if err := SVG(&buf, ly, res, geom.Rect{X0: -50, Y0: 150, X1: 250, Y1: 320}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "<svg") || !strings.Contains(s, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if !strings.Contains(s, "#3b6fb6") || !strings.Contains(s, "#3f9e4d") {
+		t.Fatal("core/second colors missing")
+	}
+}
+
+func TestASCIIShowsPatterns(t *testing.T) {
+	ly, res := demoLayout()
+	out := ASCII(ly, res, geom.Rect{X0: -40, Y0: 160, X1: 260, Y1: 320}, ly.Rules.Pitch())
+	if !strings.Contains(out, "C") || !strings.Contains(out, "S") {
+		t.Fatalf("patterns missing:\n%s", out)
+	}
+	if !strings.Contains(out, "a") {
+		t.Fatalf("assist material missing:\n%s", out)
+	}
+}
+
+func TestASCIIMarksOverlays(t *testing.T) {
+	ds := rules.Node10nm()
+	// Second wire at the die floor: its bottom flank cannot fit -> overlay.
+	ly := decomp.Layout{
+		Rules: ds,
+		Die:   geom.Rect{X0: 0, Y0: 0, X1: 600, Y1: 600},
+		Pats: []decomp.Pattern{
+			{Net: 0, Color: decomp.Second, Rects: []geom.Rect{{X0: 0, Y0: 0, X1: 180, Y1: 20}}},
+		},
+	}
+	res := decomp.DecomposeCut(ly)
+	out := ASCII(ly, res, geom.Rect{X0: 0, Y0: 0, X1: 300, Y1: 200}, ds.Pitch())
+	if !strings.Contains(out, "!") {
+		t.Fatalf("overlay marker missing:\n%s", out)
+	}
+}

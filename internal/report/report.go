@@ -1,0 +1,123 @@
+// Package report formats evaluation results in the paper's table style and
+// provides the log-log least-squares fit used for the Fig. 20 empirical
+// complexity estimate.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sadproute/internal/bench"
+)
+
+// Table renders rows of per-benchmark metrics grouped by algorithm, in the
+// layout of the paper's Tables III/IV, followed by the "Comp." ratio row
+// normalized against the reference algorithm (ours = 1.000).
+func Table(title string, rows []bench.Metrics, ref bench.Algo) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-8s %-14s %8s %9s %12s %6s %10s\n",
+		"Circuit", "Algorithm", "#Net", "Rout.(%)", "Overlay(u)", "#C", "CPU(s)")
+	for _, m := range rows {
+		if m.NA {
+			fmt.Fprintf(&b, "%-8s %-14s %8d %9s %12s %6s %10s\n",
+				m.Bench, m.Algo, m.Nets, "NA", "NA", "NA", fmt.Sprintf(">%.0f", m.CPU.Seconds()))
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %-14s %8d %9.2f %12.1f %6d %10.2f\n",
+			m.Bench, m.Algo, m.Nets, m.RoutabilityPct, m.OverlayUnits,
+			m.Conflicts+m.HardOverlays, m.CPU.Seconds())
+	}
+	b.WriteString(compRow(rows, ref))
+	return b.String()
+}
+
+// compRow computes the paper's "Comp." normalization: per algorithm, the
+// ratio of its summed metric to the reference algorithm's, with the
+// reference at 1.000. NA rows are excluded from both sums.
+func compRow(rows []bench.Metrics, ref bench.Algo) string {
+	type agg struct {
+		rout, overlay, cpu float64
+		conf               int
+		n                  int
+	}
+	perAlgo := map[string]*agg{}
+	var order []string
+	// Only compare on benchmarks where both the algo and the reference
+	// completed.
+	completed := map[string]map[string]bench.Metrics{}
+	for _, m := range rows {
+		if completed[m.Bench] == nil {
+			completed[m.Bench] = map[string]bench.Metrics{}
+		}
+		completed[m.Bench][m.Algo] = m
+	}
+	for _, m := range rows {
+		if m.NA {
+			continue
+		}
+		r, ok := completed[m.Bench][string(ref)]
+		if !ok || r.NA {
+			continue
+		}
+		a := perAlgo[m.Algo]
+		if a == nil {
+			a = &agg{}
+			perAlgo[m.Algo] = a
+			order = append(order, m.Algo)
+		}
+		a.rout += m.RoutabilityPct / nz(r.RoutabilityPct)
+		a.overlay += m.OverlayUnits / nz(r.OverlayUnits)
+		a.cpu += m.CPU.Seconds() / nz(r.CPU.Seconds())
+		a.conf += m.Conflicts + m.HardOverlays
+		a.n++
+	}
+	var b strings.Builder
+	b.WriteString("Comp. (vs " + string(ref) + ", geometric over completed benches):\n")
+	for _, name := range order {
+		a := perAlgo[name]
+		if a.n == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-14s rout x%.4f  overlay x%.3f  CPU x%.3f  totalC %d\n",
+			name, a.rout/float64(a.n), a.overlay/float64(a.n), a.cpu/float64(a.n), a.conf)
+	}
+	return b.String()
+}
+
+func nz(v float64) float64 {
+	if v == 0 {
+		return 1e-9
+	}
+	return v
+}
+
+// LogLogFit fits y = c * x^k by least squares in log space and returns the
+// exponent k and coefficient c — the paper's Fig. 20 "empirical time
+// complexity ~ n^1.42" analysis.
+func LogLogFit(xs, ys []float64) (k, c float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN(), math.NaN()
+	}
+	n := 0
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			continue
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		n++
+	}
+	if n < 2 {
+		return math.NaN(), math.NaN()
+	}
+	fn := float64(n)
+	k = (fn*sxy - sx*sy) / (fn*sxx - sx*sx)
+	c = math.Exp((sy - k*sx) / fn)
+	return k, c
+}

@@ -1,0 +1,50 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"sadproute/internal/bench"
+)
+
+func TestLogLogFitRecoversExponent(t *testing.T) {
+	// y = 3 * x^1.42
+	var xs, ys []float64
+	for _, x := range []float64{100, 300, 1000, 5000, 20000} {
+		xs = append(xs, x)
+		ys = append(ys, 3*math.Pow(x, 1.42))
+	}
+	k, c := LogLogFit(xs, ys)
+	if math.Abs(k-1.42) > 1e-9 || math.Abs(c-3) > 1e-6 {
+		t.Fatalf("fit k=%v c=%v", k, c)
+	}
+}
+
+func TestLogLogFitDegenerate(t *testing.T) {
+	if k, _ := LogLogFit([]float64{1}, []float64{1}); !math.IsNaN(k) {
+		t.Fatal("single point must be NaN")
+	}
+	if k, _ := LogLogFit([]float64{0, 0}, []float64{1, 2}); !math.IsNaN(k) {
+		t.Fatal("non-positive xs must be NaN")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	rows := []bench.Metrics{
+		{Bench: "T1", Algo: "ours", Nets: 100, RoutabilityPct: 95, OverlayUnits: 10, CPU: time.Second},
+		{Bench: "T1", Algo: "base", Nets: 100, RoutabilityPct: 80, OverlayUnits: 100, Conflicts: 5, CPU: 2 * time.Second},
+		{Bench: "T2", Algo: "base", Nets: 200, NA: true, CPU: time.Minute},
+	}
+	out := Table("test table", rows, "ours")
+	if !strings.Contains(out, "NA") {
+		t.Error("NA row missing")
+	}
+	if !strings.Contains(out, "overlay x10.000") {
+		t.Errorf("comp ratio missing:\n%s", out)
+	}
+	if !strings.Contains(out, "rout x0.8421") {
+		t.Errorf("routability ratio missing:\n%s", out)
+	}
+}

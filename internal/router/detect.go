@@ -1,0 +1,227 @@
+package router
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"sadproute/internal/colorflip"
+	"sadproute/internal/decomp"
+	"sadproute/internal/fragstore"
+	"sadproute/internal/geom"
+	"sadproute/internal/grid"
+)
+
+var debugWindow = os.Getenv("SADP_DEBUG_WINDOW") != ""
+
+// windowResolve implements the paper's per-net cut conflict check scheme
+// (Section III-D) with color-based resolution: decompose a local window
+// around the newly routed (and colored) net with the oracle; when the net
+// introduced a new cut conflict or violation, try to clear it by re-running
+// the component flipping DP with this net's color forced to each mask in
+// turn — accepting and locking the first component recoloring whose window
+// decomposes cleanly. Only when no coloring clears the window does the net
+// get ripped up; hot returns the cells implicated, for targeted rip-up
+// cost inflation.
+func (st *state) windowResolve(id int) (bad bool, hot []grid.Cell) {
+	for l := 0; l < st.nl.Layers; l++ {
+		mine := st.frags[l].NetRects(id)
+		if len(mine) == 0 {
+			continue
+		}
+		var bbox geom.Rect
+		for _, r := range mine {
+			bbox = bbox.Union(r)
+		}
+		window := bbox.Expand(3)
+
+		netsIn := map[int]bool{id: true}
+		st.frags[l].Query(window, func(f fragstore.Frag) { netsIn[f.Net] = true })
+		ids := make([]int, 0, len(netsIn))
+		for n := range netsIn {
+			ids = append(ids, n)
+		}
+		sort.Ints(ids)
+
+		// Baseline: the window without the new net.
+		base := decomp.DecomposeCut(st.windowLayout(l, ids, id))
+		baseBad := windowBadness(base)
+
+		// Current coloring.
+		cur := decomp.DecomposeCut(st.windowLayout(l, ids, -1))
+		curBad := windowBadness(cur)
+		if curBad <= baseBad {
+			continue
+		}
+
+		// The net made things worse: try to resolve by recoloring its
+		// component with the net's color forced each way.
+		comp := st.ocgs[l].Component(id)
+		saved := make(map[int]decomp.Color, len(comp))
+		for _, n := range comp {
+			saved[n] = st.colors[l][n]
+		}
+		savedLock, hadLock := st.locks[l][id]
+		resolved := false
+		for _, forced := range [2]decomp.Color{st.colors[l][id], st.colors[l][id].Flip()} {
+			st.locks[l][id] = forced
+			r := colorflip.OptimizeLocked(st.ocgs[l], comp, st.locks[l])
+			if !r.Feasible {
+				continue
+			}
+			for n, col := range r.Colors {
+				st.colors[l][n] = col
+			}
+			res := decomp.DecomposeCut(st.windowLayout(l, ids, -1))
+			if windowBadness(res) <= baseBad {
+				resolved = true
+				break
+			}
+			for n, col := range saved {
+				st.colors[l][n] = col
+			}
+		}
+		if resolved {
+			continue
+		}
+		// No coloring clears the window: restore and rip up.
+		if hadLock {
+			st.locks[l][id] = savedLock
+		} else {
+			delete(st.locks[l], id)
+		}
+		for n, col := range saved {
+			st.colors[l][n] = col
+		}
+		if debugWindow {
+			fmt.Fprintf(os.Stderr, "WIN net=%d l=%d base=%d cur=%d comp=%d\n",
+				id, l, baseBad, curBad, len(comp))
+		}
+		hot = append(hot, st.conflictCells(cur, l)...)
+		bad = true
+	}
+	return bad, hot
+}
+
+// windowBadness scores a window decomposition by its forbidden artifacts:
+// cut conflicts, violations and hard overlays.
+func windowBadness(r *decomp.Result) int {
+	return len(r.Conflicts) + len(r.Violations) + r.HardOverlays
+}
+
+// windowLayout assembles the oracle input for one layer window. Nets listed
+// in ids contribute their full fragment lists; skip is excluded entirely.
+func (st *state) windowLayout(l int, ids []int, skip int) decomp.Layout {
+	ly := decomp.Layout{Rules: st.ds, Die: st.g.DieNM()}
+	for _, n := range ids {
+		if n == skip {
+			continue
+		}
+		rects := st.frags[l].NetRects(n)
+		if len(rects) == 0 {
+			continue
+		}
+		nm := make([]geom.Rect, len(rects))
+		for i, cr := range rects {
+			nm[i] = st.g.CellsToNM(cr)
+		}
+		ly.Pats = append(ly.Pats, decomp.Pattern{Net: n, Color: st.colors[l][n], Rects: nm})
+	}
+	return ly
+}
+
+// conflictCells maps oracle conflict locations back to grid cells on layer
+// l for cost inflation.
+func (st *state) conflictCells(res *decomp.Result, l int) []grid.Cell {
+	var out []grid.Cell
+	p := st.ds.Pitch()
+	addRect := func(r geom.Rect) {
+		x0, y0 := fdiv(r.X0, p), fdiv(r.Y0, p)
+		x1, y1 := fdiv(r.X1-1, p)+1, fdiv(r.Y1-1, p)+1
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				c := grid.Cell{X: x, Y: y, L: l}
+				if st.g.In(c) {
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	for _, cf := range res.Conflicts {
+		addRect(cf.Rect.Expand(p))
+	}
+	return out
+}
+
+// repairConflicts is the post-routing safety net: decompose the full layout
+// with the oracle, rip up every net implicated in a remaining cut conflict,
+// hard overlay or violation, and reroute it with inflated costs. A few
+// passes suffice in practice; anything left shows up honestly in the final
+// metrics.
+func (st *state) repairConflicts() {
+	st.inRepair = true
+	defer func() { st.inRepair = false }()
+	for pass := 0; pass < 10; pass++ {
+		offenders := st.offenders()
+		if len(offenders) == 0 {
+			return
+		}
+		for _, id := range offenders {
+			if _, routed := st.res.Paths[id]; !routed {
+				continue
+			}
+			path := st.res.Paths[id]
+			st.ripup(id)
+			st.res.Routed--
+			for _, c := range path {
+				st.pen[c] += 6 * st.opt.Alpha
+			}
+			st.routeNet(id)
+		}
+	}
+	// Terminal guarantee: if anything still conflicts after the repair
+	// budget, drop the offenders outright — the paper's router guarantees
+	// conflict-free output, trading routability where necessary.
+	for _, id := range st.offenders() {
+		if _, routed := st.res.Paths[id]; !routed {
+			continue
+		}
+		st.ripup(id)
+		st.res.Routed--
+		st.res.Failed++
+	}
+}
+
+// offenders lists the nets implicated in oracle conflicts, hard overlays or
+// violations of the current full layout.
+func (st *state) offenders() []int {
+	bad := map[int]bool{}
+	for _, ly := range st.res.Layouts() {
+		res := decomp.DecomposeCut(ly)
+		for _, cf := range res.Conflicts {
+			bad[ly.Pats[cf.Pat].Net] = true
+		}
+		for _, ov := range res.Overlays {
+			if ov.Hard {
+				bad[ly.Pats[ov.Pat].Net] = true
+			}
+		}
+		for _, n := range res.BadNets {
+			bad[n] = true
+		}
+	}
+	out := make([]int, 0, len(bad))
+	for n := range bad {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func fdiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

@@ -1,0 +1,30 @@
+package router_test
+
+import (
+	"testing"
+
+	"sadproute/internal/bench"
+	"sadproute/internal/decomp"
+	"sadproute/internal/router"
+	"sadproute/internal/rules"
+)
+
+// TestMediumInstanceGuarantees routes a 300-net instance and asserts the
+// zero-conflict/zero-hard-overlay guarantee at medium scale.
+func TestMediumInstanceGuarantees(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium instance")
+	}
+	nl := bench.Generate(bench.Spec{Name: "d", Nets: 300, Tracks: 80, Layers: 3, Seed: 7, PinCandidates: 1, AvgHPWL: 8, Blockages: 2})
+	res := router.Route(nl, rules.Node10nm(), router.Defaults())
+	_, tot := decomp.DecomposeLayers(res.Layouts())
+	t.Logf("routed=%.1f%% rip=%d odd=%d inf=%d win=%d nopath=%d conf=%d hard=%d SO=%.0fu cpu=%v",
+		res.Routability(), res.Ripups, res.RipOddCycle, res.RipInfeasible, res.RipWindow, res.NoPath,
+		tot.Conflicts, tot.HardOverlays, tot.SideOverlayUnits, res.CPU)
+	if tot.Conflicts != 0 || tot.HardOverlays != 0 || tot.Violations != 0 {
+		t.Errorf("guarantees violated: conf=%d hard=%d viol=%d", tot.Conflicts, tot.HardOverlays, tot.Violations)
+	}
+	if res.Routability() < 70 {
+		t.Errorf("routability %.1f%% below floor", res.Routability())
+	}
+}

@@ -1,0 +1,558 @@
+// Package router implements the paper's overlay-aware SADP detailed
+// routing algorithm (Section III-E, Figs. 18-19): sequential A*-search
+// routing guided by per-layer overlay constraint graphs, with
+// rip-up-and-reroute on hard odd cycles and cut conflicts, O(1)
+// pseudo-coloring of each routed net, threshold-triggered color flipping,
+// and a final full-layout flipping pass.
+package router
+
+import (
+	"sort"
+	"time"
+
+	"sadproute/internal/astar"
+	"sadproute/internal/colorflip"
+	"sadproute/internal/decomp"
+	"sadproute/internal/fragstore"
+	"sadproute/internal/geom"
+	"sadproute/internal/grid"
+	"sadproute/internal/netlist"
+	"sadproute/internal/ocg"
+	"sadproute/internal/rules"
+	"sadproute/internal/scenario"
+)
+
+// Options are the user-defined parameters of the algorithm. The zero value
+// is not useful; start from Defaults.
+type Options struct {
+	// Alpha and Beta weigh wirelength and via count in cost equation (5),
+	// in engine units (astar.Scale halves apply, so gamma can be 1.5).
+	Alpha, Beta int
+	// Gamma2 is 2*gamma: the type-2-b geometry penalty of eq. (5) doubled
+	// to stay integral (paper gamma = 1.5 -> Gamma2 = 3). Zero disables the
+	// penalty (ablation).
+	Gamma2 int
+	// FlipThresholdNM triggers color flipping when a routed net's induced
+	// side overlay exceeds it (paper f_threshold = 10 units -> 200 nm).
+	FlipThresholdNM int
+	// MaxRipup bounds rip-up-and-reroute iterations per net (paper B = 3).
+	MaxRipup int
+	// ColorFlip enables the color-flipping algorithm (ablation switch);
+	// when false, pseudo-coloring alone decides colors.
+	ColorFlip bool
+	// WindowCheck enables the per-net cut-conflict check against the
+	// decomposition oracle on a local window (Section III-D).
+	WindowCheck bool
+	// FinalRepair enables the post-routing conflict repair pass: oracle
+	// decomposition, then rip-up-and-reroute of conflicting nets.
+	FinalRepair bool
+	// DirPenalty is the soft preferred-direction cost (engine units) for a
+	// planar step against the layer's preferred direction (even layers
+	// horizontal, odd vertical). Zero disables it.
+	DirPenalty int
+	// MaxExpand bounds A* node expansions per attempt (0 = unbounded).
+	MaxExpand int
+}
+
+// Defaults returns the paper's parameter settings.
+func Defaults() Options {
+	return Options{
+		Alpha:           1,
+		Beta:            1,
+		Gamma2:          3,
+		FlipThresholdNM: 200,
+		MaxRipup:        3,
+		ColorFlip:       true,
+		WindowCheck:     true,
+		FinalRepair:     true,
+		DirPenalty:      2,
+		MaxExpand:       400000,
+	}
+}
+
+// Result is a completed routing run.
+type Result struct {
+	Routed, Failed  int
+	Paths           map[int][]grid.Cell
+	Colors          []map[int]decomp.Color // per layer: net -> color
+	WirelengthCells int
+	Vias            int
+	Ripups          int
+	Flips           int
+	// Rip-up causes (diagnostics).
+	RipOddCycle, RipInfeasible, RipWindow int
+	// NoPath counts nets that failed because A* found no path at all.
+	NoPath int
+	// BlockerRips counts nets ripped up to free resources for another net.
+	BlockerRips int
+	CPU         time.Duration
+	Grid        *grid.Grid
+	frags       []*fragstore.Store
+	nl          *netlist.Netlist
+}
+
+// Routability returns the fraction of nets routed, in percent.
+func (r *Result) Routability() float64 {
+	total := r.Routed + r.Failed
+	if total == 0 {
+		return 100
+	}
+	return 100 * float64(r.Routed) / float64(total)
+}
+
+// Layouts exports the routed, colored design as per-layer decomposition
+// inputs for the oracle.
+func (r *Result) Layouts() []decomp.Layout {
+	out := make([]decomp.Layout, len(r.frags))
+	for l := range r.frags {
+		ly := decomp.Layout{Rules: r.Grid.Rules, Die: r.Grid.DieNM()}
+		nets := r.frags[l].NetIDs()
+		for _, n := range nets {
+			cellRects := r.frags[l].NetRects(n)
+			if len(cellRects) == 0 {
+				continue
+			}
+			nm := make([]geom.Rect, len(cellRects))
+			for i, cr := range cellRects {
+				nm[i] = r.Grid.CellsToNM(cr)
+			}
+			ly.Pats = append(ly.Pats, decomp.Pattern{
+				Net:   n,
+				Color: r.Colors[l][n],
+				Rects: nm,
+			})
+		}
+		out[l] = ly
+	}
+	return out
+}
+
+// state carries the per-run working set.
+type state struct {
+	nl     *netlist.Netlist
+	ds     rules.Set
+	g      *grid.Grid
+	eng    *astar.Engine
+	ocgs   []*ocg.Graph
+	frags  []*fragstore.Store
+	colors []map[int]decomp.Color
+	locks  []map[int]decomp.Color // colors pinned by the cut-conflict check
+	pen    map[grid.Cell]int      // rip-up cost inflation
+	opt    Options
+	res    *Result
+	// inRepair enables the window conflict check during the final repair
+	// passes regardless of Options.WindowCheck.
+	inRepair bool
+	// blockerBudget bounds resource rip-ups; pending queues ripped blockers
+	// for rerouting.
+	blockerBudget int
+	pending       []int
+}
+
+// Route runs the overlay-aware detailed router on a netlist.
+func Route(nl *netlist.Netlist, ds rules.Set, opt Options) *Result {
+	start := time.Now()
+	st := &state{
+		nl:  nl,
+		ds:  ds,
+		g:   nl.BuildGrid(ds),
+		opt: opt,
+		pen: make(map[grid.Cell]int),
+	}
+	st.eng = astar.New(st.g)
+	st.ocgs = make([]*ocg.Graph, nl.Layers)
+	st.frags = make([]*fragstore.Store, nl.Layers)
+	st.colors = make([]map[int]decomp.Color, nl.Layers)
+	st.locks = make([]map[int]decomp.Color, nl.Layers)
+	for l := 0; l < nl.Layers; l++ {
+		st.ocgs[l] = ocg.New()
+		st.frags[l] = fragstore.New()
+		st.colors[l] = make(map[int]decomp.Color)
+		st.locks[l] = make(map[int]decomp.Color)
+	}
+	st.res = &Result{
+		Paths:  make(map[int][]grid.Cell),
+		Colors: st.colors,
+		Grid:   st.g,
+		frags:  st.frags,
+		nl:     nl,
+	}
+
+	// Net ordering: shortest HPWL first (standard detailed-routing order).
+	order := make([]int, len(nl.Nets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return nl.Nets[order[i]].HPWL() < nl.Nets[order[j]].HPWL()
+	})
+
+	st.blockerBudget = len(nl.Nets) / 2
+	for _, id := range order {
+		st.routeNet(id)
+	}
+	// Reroute nets that were ripped up to free resources.
+	for len(st.pending) > 0 {
+		id := st.pending[0]
+		st.pending = st.pending[1:]
+		if _, routed := st.res.Paths[id]; routed {
+			continue
+		}
+		st.routeNet(id)
+	}
+
+	// Final full-layout color flipping (line 16 of Fig. 19).
+	if opt.ColorFlip {
+		st.flipAll()
+	}
+	// Final conflict repair against the oracle.
+	if opt.FinalRepair {
+		st.repairConflicts()
+	}
+
+	st.res.CPU = time.Since(start)
+	return st.res
+}
+
+// routeNet routes one net with up to MaxRipup rip-up-and-reroute rounds.
+func (st *state) routeNet(id int) {
+	n := st.nl.Nets[id]
+	bonusUsed := false
+	for attempt := 0; ; attempt++ {
+		path, ok := st.search(id, n)
+		if !ok {
+			// Resource rip-up: discover the nets blocking every corridor,
+			// rip them, and retry; they are rerouted afterwards.
+			if st.blockerBudget > 0 {
+				if blockers := st.findBlockers(id, n); len(blockers) > 0 && len(blockers) <= 4 {
+					st.blockerBudget -= len(blockers)
+					for _, b := range blockers {
+						st.ripup(b)
+						st.res.Routed--
+						st.res.BlockerRips++
+						st.pending = append(st.pending, b)
+					}
+					continue
+				}
+			}
+			st.res.Failed++
+			st.res.NoPath++
+			return
+		}
+		st.commit(id, path)
+		odd, infeasible, hot := st.updateGraphs(id)
+		bad := odd || infeasible
+		if odd {
+			st.res.RipOddCycle++
+		}
+		if infeasible {
+			st.res.RipInfeasible++
+		}
+		if !bad {
+			// Color first (pseudo-coloring plus threshold flipping), then
+			// check cut conflicts against the oracle; the check may resolve
+			// a conflict by re-running the flipping DP with this net's
+			// color forced, so coloring must precede it.
+			st.colorNewNet(id)
+			if st.opt.WindowCheck || st.inRepair {
+				var wbad bool
+				var whot []grid.Cell
+				wbad, whot = st.windowResolve(id)
+				if wbad {
+					bad = true
+					hot = append(hot, whot...)
+					st.res.RipWindow++
+				}
+			}
+		}
+		if !bad {
+			st.res.Routed++
+			return
+		}
+		// Rip up and reroute with inflated costs along the failed path and
+		// sharply inflated costs at the offending cells (lines 7-9).
+		st.ripup(id)
+		st.res.Ripups++
+		if attempt >= st.opt.MaxRipup {
+			// Last resort: rip the neighbors participating in the conflict
+			// (they reroute later) and grant one bonus attempt.
+			if !bonusUsed && st.blockerBudget > 0 {
+				if nbrs := st.hotOwners(id, hot); len(nbrs) > 0 && len(nbrs) <= 3 {
+					bonusUsed = true
+					st.blockerBudget -= len(nbrs)
+					for _, b := range nbrs {
+						st.ripup(b)
+						st.res.Routed--
+						st.res.BlockerRips++
+						st.pending = append(st.pending, b)
+					}
+					attempt--
+					continue
+				}
+			}
+			st.res.Failed++
+			return
+		}
+		for _, c := range path {
+			st.pen[c] += 2 * st.opt.Alpha * astar.Scale
+		}
+		for _, c := range hot {
+			st.pen[c] += 16 * st.opt.Alpha * astar.Scale
+		}
+	}
+}
+
+// search runs overlay-aware A* (eq. (5)).
+func (st *state) search(id int, n netlist.Net) ([]grid.Cell, bool) {
+	pins := make(map[grid.Cell]bool, len(n.A.Candidates)+len(n.B.Candidates))
+	for _, c := range n.A.Candidates {
+		pins[c] = true
+	}
+	for _, c := range n.B.Candidates {
+		pins[c] = true
+	}
+	cfg := astar.Config{
+		WL:        st.opt.Alpha,
+		Via:       st.opt.Beta,
+		MaxExpand: st.opt.MaxExpand,
+		Step:      st.stepCost(int32(id), pins),
+	}
+	return st.eng.Search(int32(id), n.A.Candidates, n.B.Candidates, cfg)
+}
+
+// hotOwners returns the routed nets occupying the conflict hot cells (and
+// their planar neighborhood), excluding id.
+func (st *state) hotOwners(id int, hot []grid.Cell) []int {
+	seen := map[int]bool{}
+	var out []int
+	add := func(c grid.Cell) {
+		if !st.g.In(c) {
+			return
+		}
+		if v := st.g.At(c); v >= 0 && int(v) != id && !seen[int(v)] {
+			seen[int(v)] = true
+			out = append(out, int(v))
+		}
+	}
+	for _, c := range hot {
+		add(c)
+		add(grid.Cell{X: c.X + 1, Y: c.Y, L: c.L})
+		add(grid.Cell{X: c.X - 1, Y: c.Y, L: c.L})
+		add(grid.Cell{X: c.X, Y: c.Y + 1, L: c.L})
+		add(grid.Cell{X: c.X, Y: c.Y - 1, L: c.L})
+	}
+	return out
+}
+
+// findBlockers runs a soft-occupancy search to identify which routed nets
+// stand between the pins of an unroutable net.
+func (st *state) findBlockers(id int, n netlist.Net) []int {
+	pins := make(map[grid.Cell]bool)
+	cfg := astar.Config{
+		WL:           st.opt.Alpha,
+		Via:          st.opt.Beta,
+		MaxExpand:    st.opt.MaxExpand,
+		Step:         st.stepCost(int32(id), pins),
+		SoftOccupied: 40 * st.opt.Alpha * astar.Scale,
+	}
+	path, ok := st.eng.Search(int32(id), n.A.Candidates, n.B.Candidates, cfg)
+	if !ok {
+		return nil
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range path {
+		if v := st.g.At(c); v >= 0 && int(v) != id && !seen[int(v)] {
+			seen[int(v)] = true
+			out = append(out, int(v))
+		}
+	}
+	return out
+}
+
+// stepCost adds the rip-up penalties and the type-2-b geometry discourager:
+// stepping toward a cell whose forward continuation is blocked by another
+// net means the path would either end tip-to-side against that net (a type
+// 2-b scenario with unavoidable overlay) or corner alongside it.
+func (st *state) stepCost(id int32, pins map[grid.Cell]bool) astar.StepCost {
+	g := st.g
+	return func(from, to grid.Cell) (int, bool) {
+		extra := st.pen[to]
+		if to.L != from.L && (pins[from] || pins[to]) {
+			// A via directly at a pin leaves a bare one-cell stub — the
+			// most conflict-prone SADP geometry (it can be flanked by cut
+			// patterns on opposite sides). Push the via off the pin.
+			extra += 6 * st.opt.Alpha * astar.Scale
+		}
+		if to.L == from.L {
+			if st.opt.Gamma2 > 0 {
+				ahead := grid.Cell{X: to.X + (to.X - from.X), Y: to.Y + (to.Y - from.Y), L: to.L}
+				if g.In(ahead) {
+					if v := g.At(ahead); v >= 0 && v != id {
+						extra += st.opt.Gamma2 * st.opt.Alpha
+					}
+				}
+			}
+			if st.opt.DirPenalty > 0 {
+				horizStep := to.X != from.X
+				if horizStep != (to.L%2 == 0) {
+					extra += st.opt.DirPenalty
+				}
+			}
+		}
+		return extra, true
+	}
+}
+
+// commit occupies the path and registers fragments.
+func (st *state) commit(id int, path []grid.Cell) {
+	for _, c := range path {
+		st.g.Occupy(c, int32(id))
+	}
+	st.res.Paths[id] = path
+	byLayer := fragstore.CellsByLayer(path, st.nl.Layers)
+	for l, cells := range byLayer {
+		if len(cells) == 0 {
+			continue
+		}
+		st.frags[l].Add(id, geom.FragmentCells(cells))
+	}
+	wl, vias := pathLen(path)
+	st.res.WirelengthCells += wl
+	st.res.Vias += vias
+}
+
+// ripup releases a net's cells, fragments, graph edges and colors.
+func (st *state) ripup(id int) {
+	for _, c := range st.res.Paths[id] {
+		st.g.Release(c)
+	}
+	wl, vias := pathLen(st.res.Paths[id])
+	st.res.WirelengthCells -= wl
+	st.res.Vias -= vias
+	delete(st.res.Paths, id)
+	for l := 0; l < st.nl.Layers; l++ {
+		st.frags[l].RemoveNet(id)
+		st.ocgs[l].RemoveNet(id)
+		delete(st.colors[l], id)
+		delete(st.locks[l], id)
+	}
+}
+
+func pathLen(path []grid.Cell) (wl, vias int) {
+	for i := 1; i < len(path); i++ {
+		if path[i].L != path[i-1].L {
+			vias++
+		} else {
+			wl++
+		}
+	}
+	return wl, vias
+}
+
+// updateGraphs detects the new net's potential overlay scenarios on every
+// layer and merges them into the per-layer constraint graphs; it reports
+// whether a hard odd cycle or an infeasible pair arose (lines 5-6), plus
+// the cells implicated, for targeted cost inflation.
+func (st *state) updateGraphs(id int) (odd, infeasible bool, hot []grid.Cell) {
+	reach := 3 // cells: beyond d_indep, nothing classifies
+	for l := 0; l < st.nl.Layers; l++ {
+		mine := st.frags[l].NetRects(id)
+		for _, mr := range mine {
+			rect := mr
+			st.frags[l].Query(mr.Expand(reach), func(f fragstore.Frag) {
+				prof, ok := scenario.Classify(rect, f.Rect, st.ds)
+				if !ok {
+					return
+				}
+				var o, inf bool
+				if f.Net == id {
+					// Self-interaction: both fragments necessarily share a
+					// color, so a scenario whose same-color assignments are
+					// forbidden (e.g. a sub-d_core U-turn, type 1-a) makes
+					// the path undecomposable: treat like an infeasible
+					// edge and reroute.
+					inf = prof.Forbidden[scenario.CC] && prof.Forbidden[scenario.SS]
+				} else {
+					o, inf = st.ocgs[l].AddScenario(id, f.Net, prof)
+				}
+				if o || inf {
+					for y := rect.Y0; y < rect.Y1; y++ {
+						for x := rect.X0; x < rect.X1; x++ {
+							hot = append(hot, grid.Cell{X: x, Y: y, L: l})
+						}
+					}
+				}
+				odd = odd || o
+				infeasible = infeasible || inf
+			})
+		}
+	}
+	return odd, infeasible, hot
+}
+
+// colorNewNet pseudo-colors the net on every layer and triggers component
+// color flipping when the induced overlay exceeds the threshold
+// (lines 11-14).
+func (st *state) colorNewNet(id int) {
+	for l := 0; l < st.nl.Layers; l++ {
+		if !st.frags[l].Has(id) {
+			continue
+		}
+		c := colorflip.PseudoColorLocked(st.ocgs[l], id, st.colors[l], st.locks[l])
+		st.colors[l][id] = c
+		if !st.opt.ColorFlip {
+			continue
+		}
+		if st.inducedOverlay(l, id) > st.opt.FlipThresholdNM {
+			nets := st.ocgs[l].Component(id)
+			r := colorflip.OptimizeLocked(st.ocgs[l], nets, st.locks[l])
+			for n, col := range r.Colors {
+				st.colors[l][n] = col
+			}
+			st.res.Flips++
+		}
+	}
+}
+
+// inducedOverlay sums the side-overlay cost of the net's edges at current
+// colors on one layer.
+func (st *state) inducedOverlay(l, id int) int {
+	total := 0
+	cn := st.colors[l][id]
+	for _, e := range st.ocgs[l].Edges(id) {
+		o := e.Other(id)
+		co, ok := st.colors[l][o]
+		if !ok || co == decomp.Unassigned {
+			continue
+		}
+		p := e.ProfileFor(id)
+		total += p.Cost[scenario.Of(cn, co)]
+	}
+	return total
+}
+
+// flipAll runs the color-flipping DP on every component of every layer.
+func (st *state) flipAll() {
+	for l := 0; l < st.nl.Layers; l++ {
+		visited := make(map[int]bool)
+		nets := make([]int, 0, len(st.colors[l]))
+		for n := range st.colors[l] {
+			nets = append(nets, n)
+		}
+		sort.Ints(nets)
+		for _, n := range nets {
+			if visited[n] {
+				continue
+			}
+			comp := st.ocgs[l].Component(n)
+			for _, v := range comp {
+				visited[v] = true
+			}
+			r := colorflip.OptimizeLocked(st.ocgs[l], comp, st.locks[l])
+			for v, col := range r.Colors {
+				st.colors[l][v] = col
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package router_test
+
+import (
+	"testing"
+
+	"sadproute/internal/bench"
+	"sadproute/internal/decomp"
+	"sadproute/internal/grid"
+	"sadproute/internal/netlist"
+	"sadproute/internal/router"
+	"sadproute/internal/rules"
+)
+
+func smallSpec(nets, tracks int, cands int, seed int64) bench.Spec {
+	return bench.Spec{
+		Name: "unit", Nets: nets, Tracks: tracks, Layers: 3,
+		Seed: seed, PinCandidates: cands, AvgHPWL: tracks / 8, Blockages: 2,
+	}
+}
+
+// TestRouteSmokeSmall routes a small random instance and checks the paper's
+// headline guarantees against the decomposition oracle: zero cut conflicts,
+// zero hard overlays, zero violations.
+func TestRouteSmokeSmall(t *testing.T) {
+	nl := bench.Generate(smallSpec(120, 40, 1, 7))
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := router.Route(nl, rules.Node10nm(), router.Defaults())
+	if res.Routed == 0 {
+		t.Fatal("routed no nets")
+	}
+	if res.Routability() < 70 {
+		t.Errorf("routability %.1f%% too low", res.Routability())
+	}
+	_, tot := decomp.DecomposeLayers(res.Layouts())
+	if tot.Conflicts != 0 {
+		t.Errorf("cut conflicts = %d, want 0", tot.Conflicts)
+	}
+	if tot.HardOverlays != 0 {
+		t.Errorf("hard overlays = %d, want 0", tot.HardOverlays)
+	}
+	if tot.Violations != 0 {
+		t.Errorf("violations = %d, want 0", tot.Violations)
+	}
+	t.Logf("routed %d/%d, WL=%d vias=%d ripups=%d overlay=%.1fu CPU=%v",
+		res.Routed, res.Routed+res.Failed, res.WirelengthCells, res.Vias,
+		res.Ripups, tot.SideOverlayUnits, res.CPU)
+}
+
+// TestRouteMultiPin exercises multiple pin candidate locations.
+func TestRouteMultiPin(t *testing.T) {
+	nl := bench.Generate(smallSpec(80, 40, 3, 11))
+	res := router.Route(nl, rules.Node10nm(), router.Defaults())
+	if res.Routability() < 90 {
+		t.Errorf("routability %.1f%%", res.Routability())
+	}
+	_, tot := decomp.DecomposeLayers(res.Layouts())
+	if tot.Conflicts != 0 || tot.HardOverlays != 0 || tot.Violations != 0 {
+		t.Errorf("conf=%d hard=%d viol=%d, want all 0", tot.Conflicts, tot.HardOverlays, tot.Violations)
+	}
+}
+
+// TestPathsAreConnected verifies every routed path is a connected chain of
+// grid-adjacent cells joining one candidate of each pin.
+func TestPathsAreConnected(t *testing.T) {
+	nl := bench.Generate(smallSpec(60, 32, 2, 3))
+	res := router.Route(nl, rules.Node10nm(), router.Defaults())
+	for id, path := range res.Paths {
+		if len(path) == 0 {
+			t.Fatalf("net %d: empty path", id)
+		}
+		for i := 1; i < len(path); i++ {
+			d := absAll(path[i], path[i-1])
+			if d != 1 {
+				t.Errorf("net %d: discontinuous at step %d: %v -> %v", id, i, path[i-1], path[i])
+			}
+		}
+		if !hasCand(nl.Nets[id].A, path[0]) || !hasCand(nl.Nets[id].B, path[len(path)-1]) {
+			t.Errorf("net %d: endpoints %v..%v not at pin candidates", id, path[0], path[len(path)-1])
+		}
+	}
+}
+
+func hasCand(p netlist.Pin, c grid.Cell) bool {
+	for _, x := range p.Candidates {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+func absAll(a, b grid.Cell) int {
+	d := 0
+	for _, v := range [3]int{a.X - b.X, a.Y - b.Y, a.L - b.L} {
+		if v < 0 {
+			v = -v
+		}
+		d += v
+	}
+	return d
+}

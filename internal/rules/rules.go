@@ -1,0 +1,84 @@
+// Package rules defines SADP design-rule sets (paper Section II-B) and the
+// consistency relations the paper assumes between them (equations (1)-(3)).
+package rules
+
+import "fmt"
+
+// Set holds the seven SADP design rules of the paper, all in nanometers.
+type Set struct {
+	WLine    int // w_line: minimum metal-line width
+	WSpacer  int // w_spacer: spacer width = minimum metal spacing on grid
+	WCut     int // w_cut: minimum cut-pattern width
+	WCore    int // w_core: minimum core-pattern width
+	DCut     int // d_cut: minimum cut-to-cut spacing
+	DCore    int // d_core: minimum core-to-core spacing (merge below this)
+	DOverlap int // d_overlap: cut-over-spacer overlap length
+}
+
+// Node10nm returns the 10 nm-node rule set used throughout the paper's
+// evaluation: w_line = w_spacer = w_cut = w_core = 20 nm,
+// d_cut = d_core = 30 nm.
+func Node10nm() Set {
+	return Set{
+		WLine:    20,
+		WSpacer:  20,
+		WCut:     20,
+		WCore:    20,
+		DCut:     30,
+		DCore:    30,
+		DOverlap: 5,
+	}
+}
+
+// Pitch returns the routing-track pitch, w_line + w_spacer.
+func (s Set) Pitch() int { return s.WLine + s.WSpacer }
+
+// DIndepSq returns the square of d_indep = sqrt(2)*(w_line + 2*w_spacer),
+// the independence distance of Theorem 1. Squared form keeps all distance
+// comparisons in exact integer arithmetic.
+func (s Set) DIndepSq() int {
+	d := s.WLine + 2*s.WSpacer
+	return 2 * d * d
+}
+
+// Validate checks the paper's rule relations:
+//
+//	(1) w_line == w_spacer
+//	(2) w_cut == w_core < d_cut == d_core
+//	(3) d_core < w_line + 2*w_spacer - 2*d_overlap
+//
+// plus basic positivity. It returns a descriptive error for the first
+// violated relation.
+func (s Set) Validate() error {
+	for _, v := range []struct {
+		name string
+		val  int
+	}{
+		{"w_line", s.WLine}, {"w_spacer", s.WSpacer}, {"w_cut", s.WCut},
+		{"w_core", s.WCore}, {"d_cut", s.DCut}, {"d_core", s.DCore},
+	} {
+		if v.val <= 0 {
+			return fmt.Errorf("rules: %s must be positive, got %d", v.name, v.val)
+		}
+	}
+	if s.DOverlap < 0 {
+		return fmt.Errorf("rules: d_overlap must be non-negative, got %d", s.DOverlap)
+	}
+	if s.WLine != s.WSpacer {
+		return fmt.Errorf("rules: relation (1) violated: w_line (%d) != w_spacer (%d)", s.WLine, s.WSpacer)
+	}
+	if s.WCut != s.WCore {
+		return fmt.Errorf("rules: relation (2) violated: w_cut (%d) != w_core (%d)", s.WCut, s.WCore)
+	}
+	if s.DCut != s.DCore {
+		return fmt.Errorf("rules: relation (2) violated: d_cut (%d) != d_core (%d)", s.DCut, s.DCore)
+	}
+	if !(s.WCut < s.DCut) {
+		return fmt.Errorf("rules: relation (2) violated: w_cut (%d) must be < d_cut (%d)", s.WCut, s.DCut)
+	}
+	if !(s.DCore < s.WLine+2*s.WSpacer-2*s.DOverlap) {
+		return fmt.Errorf("rules: relation (3) violated: d_core (%d) must be < w_line+2*w_spacer-2*d_overlap (%d)",
+			s.DCore, s.WLine+2*s.WSpacer-2*s.DOverlap)
+	}
+	return nil
+}

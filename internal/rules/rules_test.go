@@ -1,0 +1,38 @@
+package rules
+
+import "testing"
+
+func TestNode10nmValid(t *testing.T) {
+	ds := Node10nm()
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("paper rules must validate: %v", err)
+	}
+	if ds.Pitch() != 40 {
+		t.Fatalf("pitch = %d, want 40", ds.Pitch())
+	}
+	// d_indep = sqrt(2)*(20+40) nm -> squared = 7200.
+	if ds.DIndepSq() != 7200 {
+		t.Fatalf("d_indep^2 = %d, want 7200", ds.DIndepSq())
+	}
+}
+
+func TestValidateRelations(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*Set)
+	}{
+		{"relation1", func(s *Set) { s.WSpacer = 25 }},
+		{"relation2-wcut", func(s *Set) { s.WCut = 25 }},
+		{"relation2-dcut", func(s *Set) { s.DCut = 25 }},
+		{"relation2-order", func(s *Set) { s.DCut, s.DCore = 20, 20 }},
+		{"relation3", func(s *Set) { s.DOverlap = 20 }},
+		{"positivity", func(s *Set) { s.WLine = 0; s.WSpacer = 0 }},
+	}
+	for _, c := range cases {
+		ds := Node10nm()
+		c.mod(&ds)
+		if err := ds.Validate(); err == nil {
+			t.Errorf("%s: expected validation failure", c.name)
+		}
+	}
+}

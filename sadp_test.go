@@ -1,0 +1,59 @@
+package sadp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the public API exactly as README's quickstart
+// does and asserts the paper's headline guarantees.
+func TestFacadeEndToEnd(t *testing.T) {
+	nl := Generate(Spec{
+		Name: "facade", Nets: 120, Tracks: 48, Layers: 3,
+		Seed: 4, PinCandidates: 2, AvgHPWL: 6, Blockages: 2,
+	})
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Netlist round-trip through the text format.
+	var buf bytes.Buffer
+	if err := WriteNetlist(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	nl2, err := ReadNetlist(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl2.Nets) != len(nl.Nets) {
+		t.Fatalf("round trip lost nets: %d vs %d", len(nl2.Nets), len(nl.Nets))
+	}
+
+	res := Route(nl2, Node10nm(), Defaults())
+	if res.Routed == 0 {
+		t.Fatal("nothing routed")
+	}
+	layers, tot := Evaluate(res)
+	if len(layers) != nl.Layers {
+		t.Fatalf("want %d layer results", nl.Layers)
+	}
+	if tot.Conflicts != 0 || tot.HardOverlays != 0 || tot.Violations != 0 {
+		t.Fatalf("guarantees violated: conf=%d hard=%d viol=%d",
+			tot.Conflicts, tot.HardOverlays, tot.Violations)
+	}
+}
+
+// TestPaperRulesExposed sanity-checks the re-exported rule set.
+func TestPaperRulesExposed(t *testing.T) {
+	ds := Node10nm()
+	if ds.WLine != 20 || ds.DCore != 30 || ds.Pitch() != 40 {
+		t.Fatalf("10 nm rules wrong: %+v", ds)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	opt := Defaults()
+	if opt.Gamma2 != 3 || opt.MaxRipup != 3 {
+		t.Fatalf("paper defaults wrong: %+v", opt)
+	}
+}
