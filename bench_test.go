@@ -99,7 +99,11 @@ func benchAlgo(b *testing.B, algo bench.Algo, cands int) {
 	cfg := bench.RunConfig{Rules: rules.Node10nm(), Budget: 5 * time.Minute}
 	var last bench.Metrics
 	for i := 0; i < b.N; i++ {
-		last = bench.Run(smallInstance(11, cands), algo, cfg)
+		var err error
+		last, err = bench.Run(smallInstance(11, cands), algo, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(last.RoutabilityPct, "routability%")
 	b.ReportMetric(last.OverlayUnits, "overlay-units")

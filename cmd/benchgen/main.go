@@ -6,8 +6,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -15,17 +17,31 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchgen", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		nets   = flag.Int("nets", 1500, "number of two-pin nets")
-		tracks = flag.Int("tracks", 170, "die width/height in routing tracks")
-		layers = flag.Int("layers", 3, "routing layers")
-		seed   = flag.Int64("seed", 1, "generator seed")
-		cands  = flag.Int("cands", 1, "pin candidate locations per pin")
-		hpwl   = flag.Int("hpwl", 0, "mean net half-perimeter in tracks (0 = tracks/10)")
-		paper  = flag.Bool("paper", false, "emit the full Test1-10 analogue suite")
-		outDir = flag.String("out", ".", "output directory for -paper")
+		nets   = fs.Int("nets", 1500, "number of two-pin nets")
+		tracks = fs.Int("tracks", 170, "die width/height in routing tracks")
+		layers = fs.Int("layers", 3, "routing layers")
+		seed   = fs.Int64("seed", 1, "generator seed")
+		cands  = fs.Int("cands", 1, "pin candidate locations per pin")
+		hpwl   = fs.Int("hpwl", 0, "mean net half-perimeter in tracks (0 = tracks/10)")
+		paper  = fs.Bool("paper", false, "emit the full Test1-10 analogue suite")
+		outDir = fs.String("out", ".", "output directory for -paper")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	if *paper {
 		for _, fixed := range []bool{true, false} {
@@ -34,16 +50,17 @@ func main() {
 				path := filepath.Join(*outDir, sp.Name+".nl")
 				f, err := os.Create(path)
 				if err != nil {
-					fatal(err)
+					return err
 				}
 				if err := sadp.WriteNetlist(f, nl); err != nil {
-					fatal(err)
+					f.Close()
+					return err
 				}
 				f.Close()
-				fmt.Fprintf(os.Stderr, "wrote %s (%d nets, %d tracks)\n", path, sp.Nets, sp.Tracks)
+				fmt.Fprintf(stdout, "wrote %s (%d nets, %d tracks)\n", path, sp.Nets, sp.Tracks)
 			}
 		}
-		return
+		return nil
 	}
 
 	h := *hpwl
@@ -60,12 +77,5 @@ func main() {
 		AvgHPWL:       h,
 		Blockages:     *nets / 150,
 	})
-	if err := sadp.WriteNetlist(os.Stdout, nl); err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchgen:", err)
-	os.Exit(1)
+	return sadp.WriteNetlist(stdout, nl)
 }

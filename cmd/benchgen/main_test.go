@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"sadproute"
+)
+
+func TestHelp(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-h"}, &b); err != nil {
+		t.Fatalf("-h should succeed, got %v", err)
+	}
+	if !strings.Contains(b.String(), "-nets") {
+		t.Fatalf("-h did not print flag usage:\n%s", b.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &b); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}
+
+func TestTinyInstance(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-nets", "8", "-tracks", "16", "-layers", "2", "-seed", "7"}, &b); err != nil {
+		t.Fatalf("generating a tiny netlist failed: %v", err)
+	}
+	nl, err := sadp.ReadNetlist(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("emitted netlist does not parse back: %v\n%s", err, b.String())
+	}
+	if len(nl.Nets) != 8 || nl.W != 16 || nl.Layers != 2 {
+		t.Fatalf("round-trip mismatch: %d nets, %dx%d, %d layers",
+			len(nl.Nets), nl.W, nl.H, nl.Layers)
+	}
+}

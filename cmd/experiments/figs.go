@@ -133,7 +133,7 @@ func renderMicro(title, outDir, svgName string, ly decomp.Layout, res *decomp.Re
 // ablation quantifies the design choices DESIGN.md calls out: color
 // flipping, the type-2-b routing penalty, the window conflict check, and
 // the rip-up budget.
-func ablation(ds rules.Set, scale string) string {
+func ablation(ds rules.Set, scale string) (string, error) {
 	sp := specsFor(scale, true)[0]
 	cfg := bench.RunConfig{Rules: ds}
 	var rows []bench.Metrics
@@ -152,7 +152,10 @@ func ablation(ds rules.Set, scale string) string {
 	for _, v := range variants {
 		opt := router.Defaults()
 		v.mod(&opt)
-		m := bench.Run(bench.Generate(sp), bench.AlgoOurs, bench.RunConfig{Rules: cfg.Rules, RouterOptions: &opt})
+		m, err := bench.Run(bench.Generate(sp), bench.AlgoOurs, bench.RunConfig{Rules: cfg.Rules, RouterOptions: &opt})
+		if err != nil {
+			return "", err
+		}
 		m.Algo = v.name
 		rows = append(rows, m)
 	}
@@ -163,5 +166,5 @@ func ablation(ds rules.Set, scale string) string {
 		fmt.Fprintf(&b, "%-14s %9.2f %12.1f %6d %6d %10.2f\n",
 			m.Algo, m.RoutabilityPct, m.OverlayUnits, m.Conflicts, m.HardOverlays, m.CPU.Seconds())
 	}
-	return b.String()
+	return b.String(), nil
 }

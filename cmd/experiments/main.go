@@ -14,8 +14,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,16 +28,30 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		which  = flag.String("which", "table2", "comma list: table2,table3,table4,fig20,fig21,fig22,appendix,ablation,all")
-		scale  = flag.String("scale", "small", "benchmark scale: small | medium | paper")
-		outDir = flag.String("out", "results", "output directory")
-		budget = flag.Duration("budget", 30*time.Minute, "per-run time budget for the exhaustive baseline")
+		which  = fs.String("which", "table2", "comma list: table2,table3,table4,fig20,fig21,fig22,appendix,ablation,all")
+		scale  = fs.String("scale", "small", "benchmark scale: small | medium | paper")
+		outDir = fs.String("out", "results", "output directory")
+		budget = fs.Duration("budget", 30*time.Minute, "per-run time budget for the exhaustive baseline")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		fatal(err)
+		return err
 	}
 	sel := map[string]bool{}
 	for _, w := range strings.Split(*which, ",") {
@@ -44,35 +60,42 @@ func main() {
 	all := sel["all"]
 	ds := rules.Node10nm()
 
-	run := func(name string, fn func() (string, error)) {
+	emit := func(name string, fn func() (string, error)) error {
 		if !all && !sel[name] {
-			return
+			return nil
 		}
 		start := time.Now()
 		text, err := fn()
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		path := filepath.Join(*outDir, name+".txt")
 		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("== %s (%.1fs) -> %s\n%s\n", name, time.Since(start).Seconds(), path, text)
+		fmt.Fprintf(stdout, "== %s (%.1fs) -> %s\n%s\n", name, time.Since(start).Seconds(), path, text)
+		return nil
 	}
 
-	run("table2", func() (string, error) { return table2(ds), nil })
-	run("appendix", func() (string, error) { return appendix(ds), nil })
-	run("table3", func() (string, error) { return table3(ds, *scale), nil })
-	run("table4", func() (string, error) { return table4(ds, *scale, *budget), nil })
-	run("fig20", func() (string, error) { return fig20(ds, *scale), nil })
-	run("fig21", func() (string, error) { return fig21(ds, *outDir) })
-	run("fig22", func() (string, error) { return fig22(ds, *outDir) })
-	run("ablation", func() (string, error) { return ablation(ds, *scale), nil })
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	experiments := []struct {
+		name string
+		fn   func() (string, error)
+	}{
+		{"table2", func() (string, error) { return table2(ds), nil }},
+		{"appendix", func() (string, error) { return appendix(ds), nil }},
+		{"table3", func() (string, error) { return table3(ds, *scale) }},
+		{"table4", func() (string, error) { return table4(ds, *scale, *budget) }},
+		{"fig20", func() (string, error) { return fig20(ds, *scale) }},
+		{"fig21", func() (string, error) { return fig21(ds, *outDir) }},
+		{"fig22", func() (string, error) { return fig22(ds, *outDir) }},
+		{"ablation", func() (string, error) { return ablation(ds, *scale) }},
+	}
+	for _, e := range experiments {
+		if err := emit(e.name, e.fn); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // specsFor scales the paper's benchmark suite.

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestHelp(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-h"}, &b); err != nil {
+		t.Fatalf("-h should succeed, got %v", err)
+	}
+	if !strings.Contains(b.String(), "-which") {
+		t.Fatalf("-h did not print flag usage:\n%s", b.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &b); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}
+
+// TestTinyInstance regenerates Table II — the one experiment that needs no
+// routing — into a temp dir and checks both the console and the file copy.
+func TestTinyInstance(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-which", "table2", "-out", dir}, &b); err != nil {
+		t.Fatalf("table2 failed: %v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "Table II") {
+		t.Fatalf("console output missing Table II:\n%s", b.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table2.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "color rules") {
+		t.Fatalf("table2.txt content unexpected:\n%s", data)
+	}
+}

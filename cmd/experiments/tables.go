@@ -131,32 +131,41 @@ func cellNM(r geom.Rect, ds rules.Set) geom.Rect {
 
 // table3 reproduces Table III: fixed-pin benchmarks, ours vs the trim
 // baseline [11] and the no-merge cut baseline [16].
-func table3(ds rules.Set, scale string) string {
+func table3(ds rules.Set, scale string) (string, error) {
 	cfg := bench.RunConfig{Rules: ds}
 	var rows []bench.Metrics
 	for _, sp := range specsFor(scale, true) {
-		rows = append(rows, bench.Run(bench.Generate(sp), bench.AlgoOurs, cfg))
-		rows = append(rows, bench.Run(bench.Generate(sp), bench.AlgoTrimGreedy, cfg))
-		rows = append(rows, bench.Run(bench.Generate(sp), bench.AlgoCutNoMerge, cfg))
+		for _, algo := range []bench.Algo{bench.AlgoOurs, bench.AlgoTrimGreedy, bench.AlgoCutNoMerge} {
+			m, err := bench.Run(bench.Generate(sp), algo, cfg)
+			if err != nil {
+				return "", err
+			}
+			rows = append(rows, m)
+		}
 	}
-	return report.Table("Table III — fixed pin locations (#C = conflicts + hard overlays)", rows, bench.AlgoOurs)
+	return report.Table("Table III — fixed pin locations (#C = conflicts + hard overlays)", rows, bench.AlgoOurs), nil
 }
 
 // table4 reproduces Table IV: multiple pin candidate locations, ours vs
 // the exhaustive multi-candidate baseline [10].
-func table4(ds rules.Set, scale string, budget time.Duration) string {
+func table4(ds rules.Set, scale string, budget time.Duration) (string, error) {
 	cfg := bench.RunConfig{Rules: ds, Budget: budget}
 	var rows []bench.Metrics
 	for _, sp := range specsFor(scale, false) {
-		rows = append(rows, bench.Run(bench.Generate(sp), bench.AlgoOurs, cfg))
-		rows = append(rows, bench.Run(bench.Generate(sp), bench.AlgoTrimExhaustive, cfg))
+		for _, algo := range []bench.Algo{bench.AlgoOurs, bench.AlgoTrimExhaustive} {
+			m, err := bench.Run(bench.Generate(sp), algo, cfg)
+			if err != nil {
+				return "", err
+			}
+			rows = append(rows, m)
+		}
 	}
-	return report.Table("Table IV — multiple pin candidate locations", rows, bench.AlgoOurs)
+	return report.Table("Table IV — multiple pin candidate locations", rows, bench.AlgoOurs), nil
 }
 
 // fig20 measures our router's runtime across instance sizes and fits the
 // empirical complexity exponent (paper: ~ n^1.42).
-func fig20(ds rules.Set, scale string) string {
+func fig20(ds rules.Set, scale string) (string, error) {
 	specs := specsFor(scale, true)
 	cfg := bench.RunConfig{Rules: ds}
 	var xs, ys []float64
@@ -164,12 +173,15 @@ func fig20(ds rules.Set, scale string) string {
 	b.WriteString("Fig. 20 — runtime vs number of nets (ours)\n")
 	fmt.Fprintf(&b, "%10s %12s\n", "#nets", "CPU(s)")
 	for _, sp := range specs {
-		m := bench.Run(bench.Generate(sp), bench.AlgoOurs, cfg)
+		m, err := bench.Run(bench.Generate(sp), bench.AlgoOurs, cfg)
+		if err != nil {
+			return "", err
+		}
 		xs = append(xs, float64(m.Nets))
 		ys = append(ys, m.CPU.Seconds())
 		fmt.Fprintf(&b, "%10d %12.3f\n", m.Nets, m.CPU.Seconds())
 	}
 	k, c := report.LogLogFit(xs, ys)
 	fmt.Fprintf(&b, "\nleast-squares fit: CPU ~ %.3g * n^%.2f (paper reports n^1.42)\n", c, k)
-	return b.String()
+	return b.String(), nil
 }

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// lintPkg is one parsed and type-checked package of the module under lint.
+type lintPkg struct {
+	importPath string
+	relDir     string // slash-separated dir relative to the module root ("." for root)
+	files      []*ast.File
+	info       *types.Info
+	tpkg       *types.Package
+}
+
+// loader parses every non-test Go file under a module root and type-checks
+// the packages in dependency order, so intra-module imports resolve to real
+// packages and expression types (maps, floats) are available to the rules.
+//
+// Type checking is deliberately lenient: standard-library imports come from
+// a source importer and degrade to empty placeholder packages when they
+// cannot be loaded, and type errors are ignored. The rules only need
+// partial type information; the compiler remains the authority on validity.
+type loader struct {
+	fset     *token.FileSet
+	root     string
+	module   string
+	pkgs     map[string]*lintPkg // by import path
+	std      types.Importer
+	fallback map[string]*types.Package
+	checking map[string]bool
+}
+
+func newLoader(root string) (*loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(abs)
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		fset:     token.NewFileSet(),
+		root:     abs,
+		module:   mod,
+		pkgs:     make(map[string]*lintPkg),
+		fallback: make(map[string]*types.Package),
+		checking: make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	if err := l.parseAll(); err != nil {
+		return nil, err
+	}
+	for _, p := range l.sorted() {
+		l.check(p)
+	}
+	return l, nil
+}
+
+// modulePath reads the module declaration out of root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("not a module root: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module declaration in %s/go.mod", root)
+}
+
+// parseAll walks the module tree and parses every non-test Go file,
+// grouping files into packages by directory. testdata, vendor, and hidden
+// directories are skipped, matching the go tool's convention.
+func (l *loader) parseAll() error {
+	return filepath.WalkDir(l.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(l.root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		ip := l.module
+		if rel != "." {
+			ip = l.module + "/" + rel
+		}
+		p := l.pkgs[ip]
+		if p == nil {
+			p = &lintPkg{importPath: ip, relDir: rel}
+			l.pkgs[ip] = p
+		}
+		p.files = append(p.files, file)
+		return nil
+	})
+}
+
+func (l *loader) sorted() []*lintPkg {
+	out := make([]*lintPkg, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].importPath < out[j].importPath })
+	return out
+}
+
+// check type-checks p, recursively checking intra-module dependencies
+// first. Cycles (illegal in Go anyway) fall back to placeholder packages.
+func (l *loader) check(p *lintPkg) {
+	if p.tpkg != nil || l.checking[p.importPath] {
+		return
+	}
+	l.checking[p.importPath] = true
+	defer func() { l.checking[p.importPath] = false }()
+	for _, f := range p.files {
+		for _, imp := range f.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if dep, ok := l.pkgs[ip]; ok {
+				l.check(dep)
+			}
+		}
+	}
+	info := &types.Info{Types: make(map[ast.Expr]types.TypeAndValue)}
+	conf := types.Config{
+		Importer: importerFunc(l.importPkg),
+		Error:    func(error) {}, // lenient: partial info is enough
+	}
+	tpkg, _ := conf.Check(p.importPath, l.fset, p.files, info)
+	p.tpkg, p.info = tpkg, info
+}
+
+// importPkg resolves an import for the type checker: intra-module packages
+// come from the loader itself, everything else from the source importer,
+// degrading to an empty placeholder so checking always proceeds.
+func (l *loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dep, ok := l.pkgs[path]; ok {
+		l.check(dep)
+		if dep.tpkg != nil {
+			return dep.tpkg, nil
+		}
+	}
+	if l.std != nil {
+		if tp, err := l.std.Import(path); err == nil && tp != nil {
+			return tp, nil
+		}
+	}
+	if tp, ok := l.fallback[path]; ok {
+		return tp, nil
+	}
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	tp := types.NewPackage(path, base)
+	tp.MarkComplete()
+	l.fallback[path] = tp
+	return tp, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// match reports whether the package's directory matches a command-line
+// pattern: "./..." selects everything, "./x/..." selects a subtree, and
+// "./x" or "x" selects one directory.
+func (p *lintPkg) match(pattern string) bool {
+	pat := strings.TrimPrefix(filepath.ToSlash(pattern), "./")
+	if pat == "..." || pat == "" || pat == "." {
+		return true
+	}
+	if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+		return p.relDir == sub || strings.HasPrefix(p.relDir, sub+"/")
+	}
+	return p.relDir == pat
+}

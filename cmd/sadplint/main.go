@@ -1,0 +1,75 @@
+// Command sadplint is the repo's custom static-analysis pass. It encodes
+// invariants the Go compiler cannot check:
+//
+//   - maprange: no `for range` over a map feeding ordered output (slice
+//     appends never sorted, or direct formatted writes) — map order is
+//     random per run, the exact nondeterminism class that breaks
+//     resumable/parallel routing.
+//   - float: no floating point in internal/geom, internal/decomp,
+//     internal/grid — the paper's model is integer-grid.
+//   - panic: no panic in library packages (internal/...) outside
+//     constructor validation (New*/Must*).
+//   - getenv: no undocumented os.Getenv/os.LookupEnv reads.
+//
+// A finding is suppressed by a `//lint:allow <rule> <justification>`
+// comment on the same line or the line above; the justification is
+// mandatory. Built entirely on the standard library (go/parser, go/ast,
+// go/token, go/types).
+//
+// Usage:
+//
+//	sadplint [-dir moduleRoot] [patterns...]   # default pattern ./...
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errFindings) {
+			fmt.Fprintln(os.Stderr, "sadplint:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// errFindings marks a run that completed but reported findings.
+var errFindings = errors.New("findings reported")
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sadplint", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	dir := fs.String("dir", ".", "module root directory to lint")
+	fs.Usage = func() {
+		fmt.Fprintln(stdout, "usage: sadplint [-dir moduleRoot] [patterns...]")
+		fmt.Fprintln(stdout, "patterns default to ./...; e.g. ./internal/... or ./internal/decomp")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	l, err := newLoader(*dir)
+	if err != nil {
+		return err
+	}
+	findings := lintModule(l, patterns)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f.String())
+	}
+	if n := len(findings); n > 0 {
+		return fmt.Errorf("%d %w", n, errFindings)
+	}
+	return nil
+}

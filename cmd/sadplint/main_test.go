@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// runLint is a helper returning the report text and whether findings (or
+// another error) were reported.
+func runLint(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf strings.Builder
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+// TestFixtureFindings proves every rule fires on the seeded violation
+// module under testdata, and that whitelisted or out-of-scope variants
+// stay silent.
+func TestFixtureFindings(t *testing.T) {
+	out, err := runLint(t, "-dir", "testdata/mod")
+	if err == nil {
+		t.Fatalf("expected findings on the fixture module, got a clean run:\n%s", out)
+	}
+	want := []string{
+		// float rule, internal/geom fixture: type names, literal, division
+		// between typed operands, compound assignment with no float token
+		"internal/geom/geom.go:7:22: [float] float64 in integer-grid package",
+		"internal/geom/geom.go:8:9: [float] float64 in integer-grid package",
+		"internal/geom/geom.go:8:20: [float] floating-point / in integer-grid package",
+		"internal/geom/geom.go:13:9: [float] float literal 0.5 in integer-grid package",
+		"internal/geom/geom.go:18:4: [float] floating-point += in integer-grid package",
+		// panic rule
+		"internal/lib/lib.go:13:2: [panic] panic in library func Explode",
+		// maprange rule: unsorted append and direct write
+		"internal/lib/lib.go:27:2: [maprange] slice \"out\" collects map keys/values in random order",
+		"internal/lib/lib.go:46:3: [maprange] Fprintf called inside map iteration",
+		// getenv rule: plain read, and the malformed-directive one
+		"internal/lib/lib.go:52:9: [getenv] os.Getenv read",
+		"internal/lib/lib.go:63:9: [getenv] os.Getenv read",
+		// malformed directive is itself a finding
+		"internal/lib/lib.go:63:40: [directive] lint:allow needs a rule name and a justification",
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Errorf("missing expected finding %q in output:\n%s", w, out)
+		}
+	}
+	donts := []string{
+		"geom.go:23", // whitelisted percentage signature line
+		"geom.go:25", // whitelisted percentage body line
+		"lib.go:19",  // panic inside NewCounter is constructor validation
+		"lib.go:36",  // sorted map collection is the clean idiom
+		"lib.go:57",  // whitelisted getenv
+		"cmd/tool",   // panic rule does not apply to commands
+	}
+	for _, d := range donts {
+		if strings.Contains(out, d) {
+			t.Errorf("unexpected finding mentioning %q in output:\n%s", d, out)
+		}
+	}
+}
+
+// TestPatternSelection lints only one fixture package and expects findings
+// from the other to be absent.
+func TestPatternSelection(t *testing.T) {
+	out, err := runLint(t, "-dir", "testdata/mod", "./internal/geom")
+	if err == nil {
+		t.Fatalf("expected float findings, got clean run:\n%s", out)
+	}
+	if strings.Contains(out, "lib.go") {
+		t.Errorf("pattern ./internal/geom leaked findings from internal/lib:\n%s", out)
+	}
+	if !strings.Contains(out, "geom.go") {
+		t.Errorf("pattern ./internal/geom produced no geom findings:\n%s", out)
+	}
+}
+
+// TestRepoIsClean is the acceptance gate: the real module lints clean.
+func TestRepoIsClean(t *testing.T) {
+	out, err := runLint(t, "-dir", "../..", "./...")
+	if err != nil {
+		t.Fatalf("sadplint must exit clean on the repo: %v\n%s", err, out)
+	}
+}
+
+// TestHelpAndBadFlag covers the CLI contract used by CI.
+func TestHelpAndBadFlag(t *testing.T) {
+	if out, err := runLint(t, "-h"); err != nil {
+		t.Fatalf("-h should succeed, got %v\n%s", err, out)
+	} else if !strings.Contains(out, "usage: sadplint") {
+		t.Fatalf("-h did not print usage:\n%s", out)
+	}
+	if _, err := runLint(t, "-definitely-not-a-flag"); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}

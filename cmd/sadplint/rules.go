@@ -1,0 +1,350 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The rules encode repo invariants the compiler cannot see. Each finding
+// carries the rule name so a `//lint:allow <rule> <justification>` comment
+// on the same line (or the line above) can suppress it; the justification
+// is mandatory.
+const (
+	ruleMapRange  = "maprange"  // map iteration feeding ordered output without a sort
+	ruleFloat     = "float"     // floating point in integer-grid geometry packages
+	rulePanic     = "panic"     // panic in library code outside constructor validation
+	ruleGetenv    = "getenv"    // undocumented environment-variable read
+	ruleDirective = "directive" // malformed lint directive
+)
+
+// floatPkgs are the packages where the paper's integer-grid model forbids
+// floating point entirely; every exception needs an explicit whitelist.
+var floatPkgs = map[string]bool{
+	"internal/geom":   true,
+	"internal/decomp": true,
+	"internal/grid":   true,
+}
+
+type finding struct {
+	pos  token.Position
+	rule string
+	msg  string
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.pos.Filename, f.pos.Line, f.pos.Column, f.rule, f.msg)
+}
+
+// lintModule runs every rule over the packages selected by patterns and
+// returns the surviving findings sorted by position.
+func lintModule(l *loader, patterns []string) []finding {
+	var out []finding
+	for _, p := range l.sorted() {
+		selected := false
+		for _, pat := range patterns {
+			if p.match(pat) {
+				selected = true
+				break
+			}
+		}
+		if !selected {
+			continue
+		}
+		for _, file := range p.files {
+			out = append(out, lintFile(l, p, file)...)
+		}
+	}
+	for i := range out {
+		if rel, err := filepath.Rel(l.root, out[i].pos.Filename); err == nil {
+			out[i].pos.Filename = filepath.ToSlash(rel)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.rule < b.rule
+	})
+	return out
+}
+
+func lintFile(l *loader, p *lintPkg, file *ast.File) []finding {
+	c := &checker{l: l, p: p, file: file, allow: map[int]map[string]bool{}}
+	c.collectDirectives()
+	c.checkGetenv()
+	c.checkPanic()
+	c.checkMapRange()
+	if floatPkgs[p.relDir] {
+		c.checkFloat()
+	}
+	var kept []finding
+	for _, f := range c.findings {
+		if f.rule != ruleDirective && (c.allow[f.pos.Line][f.rule] || c.allow[f.pos.Line-1][f.rule]) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}
+
+type checker struct {
+	l        *loader
+	p        *lintPkg
+	file     *ast.File
+	allow    map[int]map[string]bool // line -> rules allowed on that line
+	findings []finding
+}
+
+func (c *checker) report(pos token.Pos, rule, format string, args ...any) {
+	c.findings = append(c.findings, finding{
+		pos:  c.l.fset.Position(pos),
+		rule: rule,
+		msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// typeOf returns the checked type of e, or nil when type checking could
+// not resolve it.
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	if c.p.info == nil {
+		return nil
+	}
+	if tv, ok := c.p.info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// collectDirectives indexes `//lint:allow <rule> <justification>` comments
+// by line. A directive with no rule or no justification is itself a
+// finding and suppresses nothing.
+func (c *checker) collectDirectives() {
+	for _, cg := range c.file.Comments {
+		for _, cm := range cg.List {
+			rest, ok := strings.CutPrefix(cm.Text, "//lint:allow")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				c.report(cm.Pos(), ruleDirective,
+					"lint:allow needs a rule name and a justification: //lint:allow <rule> <why>")
+				continue
+			}
+			line := c.l.fset.Position(cm.Pos()).Line
+			if c.allow[line] == nil {
+				c.allow[line] = map[string]bool{}
+			}
+			c.allow[line][fields[0]] = true
+		}
+	}
+}
+
+// checkGetenv flags every os.Getenv / os.LookupEnv call: hidden behavior
+// switches must be documented, which the whitelist justification records.
+func (c *checker) checkGetenv() {
+	ast.Inspect(c.file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != "os" {
+			return true
+		}
+		if sel.Sel.Name == "Getenv" || sel.Sel.Name == "LookupEnv" {
+			c.report(sel.Pos(), ruleGetenv,
+				"os.%s read: environment switches must be documented and whitelisted", sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// checkPanic flags panic calls in library packages (internal/...). Panics
+// guarding constructor arguments (functions named New* or Must*) are the
+// one accepted idiom.
+func (c *checker) checkPanic() {
+	if !strings.HasPrefix(c.p.relDir, "internal/") && c.p.relDir != "internal" {
+		return
+	}
+	for _, decl := range c.file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if strings.HasPrefix(fd.Name.Name, "New") || strings.HasPrefix(fd.Name.Name, "Must") {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				c.report(call.Pos(), rulePanic,
+					"panic in library func %s: return an error instead", fd.Name.Name)
+			}
+			return true
+		})
+	}
+}
+
+// checkFloat flags floating point in the integer-grid packages: float
+// literals, float type names, and arithmetic whose operands type-check as
+// floating point (catching float struct fields combined without any float
+// token on the line).
+func (c *checker) checkFloat() {
+	isFloat := func(t types.Type) bool {
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+	}
+	ast.Inspect(c.file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BasicLit:
+			if n.Kind == token.FLOAT || n.Kind == token.IMAG {
+				c.report(n.Pos(), ruleFloat, "float literal %s in integer-grid package", n.Value)
+			}
+		case *ast.Ident:
+			switch n.Name {
+			case "float32", "float64", "complex64", "complex128":
+				c.report(n.Pos(), ruleFloat, "%s in integer-grid package", n.Name)
+			}
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				if isFloat(c.typeOf(n.X)) || isFloat(c.typeOf(n.Y)) {
+					c.report(n.OpPos, ruleFloat, "floating-point %s in integer-grid package", n.Op)
+				}
+			}
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if len(n.Lhs) == 1 && isFloat(c.typeOf(n.Lhs[0])) {
+					c.report(n.TokPos, ruleFloat, "floating-point %s in integer-grid package", n.Tok)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRange flags `for range` over a map that feeds ordered output:
+// either appending to a slice that is never sorted in the same function,
+// or writing formatted output directly from the loop body. Map iteration
+// order is random per run — exactly the nondeterminism class that breaks
+// resumable and parallel routing.
+func (c *checker) checkMapRange() {
+	for _, decl := range c.file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		sorted := sortTargets(fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := c.typeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			c.checkMapLoopBody(rng, sorted)
+			return true
+		})
+	}
+}
+
+// checkMapLoopBody inspects one map-range body for order-sensitive sinks.
+func (c *checker) checkMapLoopBody(rng *ast.RangeStmt, sorted map[string]bool) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || i >= len(n.Lhs) {
+					continue
+				}
+				fn, ok := call.Fun.(*ast.Ident)
+				if !ok || fn.Name != "append" {
+					continue
+				}
+				dst, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if !sorted[dst.Name] {
+					c.report(rng.For, ruleMapRange,
+						"slice %q collects map keys/values in random order and is never sorted here", dst.Name)
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && orderedSink(sel.Sel.Name) {
+				c.report(n.Pos(), ruleMapRange,
+					"%s called inside map iteration: output order is random per run", sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// orderedSink reports whether a method name writes ordered output.
+func orderedSink(name string) bool {
+	switch name {
+	case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln",
+		"Write", "WriteString", "WriteByte", "WriteRune":
+		return true
+	}
+	return false
+}
+
+// sortTargets collects identifiers that are passed to any sort.* call in
+// the function body (unwrapping one conversion, for sort.Sort(byX(ids))).
+func sortTargets(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); !ok || (id.Name != "sort" && id.Name != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			switch a := arg.(type) {
+			case *ast.Ident:
+				out[a.Name] = true
+			case *ast.CallExpr:
+				if len(a.Args) == 1 {
+					if id, ok := a.Args[0].(*ast.Ident); ok {
+						out[id.Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

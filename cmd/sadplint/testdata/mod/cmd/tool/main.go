@@ -1,0 +1,7 @@
+// Command tool shows that the panic rule only applies to library
+// packages: this panic must not be flagged.
+package main
+
+func main() {
+	panic("commands may crash loudly")
+}

@@ -1,0 +1,26 @@
+// Package geom seeds violations of the float rule: this fixture path is
+// one of the integer-grid packages sadplint protects.
+package geom
+
+// Ratio trips the rule three times: two float64 conversions and one
+// floating-point division.
+func Ratio(a, b int) float64 {
+	return float64(a) / float64(b)
+}
+
+// Half trips the rule with a float literal.
+func Half() float64 { // this float64 is flagged too
+	return 0.5
+}
+
+// Scaled shows compound float assignment with no float token on the line.
+func Scaled(x float64) float64 {
+	x += 1
+	return x
+}
+
+// Pct is whitelisted with a justification.
+func Pct(done, total int) float64 { //lint:allow float fixture: presentation-only percentage
+	//lint:allow float fixture: presentation-only percentage
+	return 100 * float64(done) / float64(total)
+}

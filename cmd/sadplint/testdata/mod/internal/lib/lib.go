@@ -1,0 +1,64 @@
+// Package lib seeds violations of the panic, getenv, and maprange rules.
+package lib
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Explode trips the panic rule: library code must return errors.
+func Explode() {
+	panic("boom")
+}
+
+// NewCounter is constructor validation: its panic is allowed by name.
+func NewCounter(n int) int {
+	if n < 0 {
+		panic("lib: negative count")
+	}
+	return n
+}
+
+// Keys trips the maprange rule: the slice is never sorted here.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the clean idiom: collect, then sort.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dump trips the maprange rule by writing straight from the loop.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Debug trips the getenv rule: a hidden behavior switch.
+func Debug() bool {
+	return os.Getenv("FIXTURE_DEBUG") != ""
+}
+
+// DebugAllowed is the documented escape hatch.
+func DebugAllowed() bool {
+	return os.Getenv("FIXTURE_OK") != "" //lint:allow getenv fixture: documented in README
+}
+
+// Malformed has a directive without a justification: the directive itself
+// is a finding, and it suppresses nothing.
+func Malformed() bool {
+	return os.Getenv("FIXTURE_BAD") != "" //lint:allow getenv
+}

@@ -8,8 +8,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -19,25 +21,39 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sadproute:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sadproute", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		in      = flag.String("in", "", "netlist file (see package netlist for the format)")
-		svgDir  = flag.String("svg", "", "directory for per-layer SVG renderings (optional)")
-		noFlip  = flag.Bool("no-flip", false, "disable the color-flipping DP")
-		noGamma = flag.Bool("no-gamma", false, "disable the type-2-b routing penalty")
+		in      = fs.String("in", "", "netlist file (see package netlist for the format)")
+		svgDir  = fs.String("svg", "", "directory for per-layer SVG renderings (optional)")
+		noFlip  = fs.Bool("no-flip", false, "disable the color-flipping DP")
+		noGamma = fs.Bool("no-gamma", false, "disable the type-2-b routing penalty")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 	if *in == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return errors.New("missing -in netlist file")
 	}
 	f, err := os.Open(*in)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	nl, err := sadp.ReadNetlist(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	opt := sadp.Defaults()
@@ -49,40 +65,36 @@ func main() {
 	}
 	ds := sadp.Node10nm()
 	res := sadp.Route(nl, ds, opt)
-	layers, tot := sadp.Evaluate(res)
+	_, tot := sadp.Evaluate(res)
 
-	fmt.Printf("design        : %s (%d nets, %dx%d tracks, %d layers)\n",
+	fmt.Fprintf(stdout, "design        : %s (%d nets, %dx%d tracks, %d layers)\n",
 		nl.Name, len(nl.Nets), nl.W, nl.H, nl.Layers)
-	fmt.Printf("routability   : %.2f%% (%d routed, %d failed)\n", res.Routability(), res.Routed, res.Failed)
-	fmt.Printf("wirelength    : %d tracks, %d vias, %d rip-ups\n", res.WirelengthCells, res.Vias, res.Ripups)
-	fmt.Printf("side overlay  : %.1f units (%d nm), tips %d nm\n", tot.SideOverlayUnits, tot.SideOverlayNM, tot.TipOverlayNM)
-	fmt.Printf("hard overlays : %d\n", tot.HardOverlays)
-	fmt.Printf("cut conflicts : %d\n", tot.Conflicts)
-	fmt.Printf("violations    : %d\n", tot.Violations)
-	fmt.Printf("CPU           : %v\n", res.CPU)
+	fmt.Fprintf(stdout, "routability   : %.2f%% (%d routed, %d failed)\n", res.Routability(), res.Routed, res.Failed)
+	fmt.Fprintf(stdout, "wirelength    : %d tracks, %d vias, %d rip-ups\n", res.WirelengthCells, res.Vias, res.Ripups)
+	fmt.Fprintf(stdout, "side overlay  : %.1f units (%d nm), tips %d nm\n", tot.SideOverlayUnits, tot.SideOverlayNM, tot.TipOverlayNM)
+	fmt.Fprintf(stdout, "hard overlays : %d\n", tot.HardOverlays)
+	fmt.Fprintf(stdout, "cut conflicts : %d\n", tot.Conflicts)
+	fmt.Fprintf(stdout, "violations    : %d\n", tot.Violations)
+	fmt.Fprintf(stdout, "CPU           : %v\n", res.CPU)
 
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
-			fatal(err)
+			return err
 		}
 		for l, ly := range res.Layouts() {
 			path := filepath.Join(*svgDir, fmt.Sprintf("layer%d.svg", l))
 			out, err := os.Create(path)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			r := decomp.DecomposeCut(ly)
 			if err := render.SVG(out, ly, r, ly.Die); err != nil {
-				fatal(err)
+				out.Close()
+				return err
 			}
 			out.Close()
-			fmt.Printf("wrote %s\n", path)
+			fmt.Fprintf(stdout, "wrote %s\n", path)
 		}
-		_ = layers
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sadproute:", err)
-	os.Exit(1)
+	return nil
 }

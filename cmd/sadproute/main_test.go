@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sadproute"
+)
+
+func TestHelp(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-h"}, &b); err != nil {
+		t.Fatalf("-h should succeed, got %v", err)
+	}
+	if !strings.Contains(b.String(), "-in") {
+		t.Fatalf("-h did not print flag usage:\n%s", b.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &b); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}
+
+func TestMissingInput(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err == nil {
+		t.Fatal("missing -in should error")
+	}
+}
+
+func TestTinyInstance(t *testing.T) {
+	nl := sadp.Generate(sadp.Spec{
+		Name: "smoke", Nets: 6, Tracks: 14, Layers: 2, Seed: 3,
+		PinCandidates: 1, AvgHPWL: 4,
+	})
+	path := filepath.Join(t.TempDir(), "smoke.nl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sadp.WriteNetlist(f, nl); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var b strings.Builder
+	if err := run([]string{"-in", path, "-svg", t.TempDir()}, &b); err != nil {
+		t.Fatalf("routing the tiny instance failed: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"design", "routability", "cut conflicts", "layer0.svg"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package sadp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestRouteDeterminism guards the ROADMAP's caching/parallelism work: the
+// generator must be a pure function of Spec.Seed and the router a pure
+// function of its input — two in-process runs produce byte-identical
+// netlists and byte-identical routing results.
+func TestRouteDeterminism(t *testing.T) {
+	sp := Spec{
+		Name: "det", Nets: 120, Tracks: 48, Layers: 3, Seed: 77,
+		PinCandidates: 2, AvgHPWL: 6, Blockages: 2,
+	}
+	snapshot := func() (netlistBytes []byte, resultDump string) {
+		nl := Generate(sp)
+		var buf bytes.Buffer
+		if err := WriteNetlist(&buf, nl); err != nil {
+			t.Fatal(err)
+		}
+		res := Route(nl, Node10nm(), Defaults())
+		var b bytes.Buffer
+		// Everything but CPU time; fmt prints map keys in sorted order, so
+		// the dump is canonical.
+		fmt.Fprintf(&b, "routed=%d failed=%d wl=%d vias=%d ripups=%d flips=%d\n",
+			res.Routed, res.Failed, res.WirelengthCells, res.Vias, res.Ripups, res.Flips)
+		fmt.Fprintf(&b, "paths=%v\n", res.Paths)
+		fmt.Fprintf(&b, "colors=%v\n", res.Colors)
+		layers, tot := Evaluate(res)
+		fmt.Fprintf(&b, "totals=%+v\n", tot)
+		for i, lr := range layers {
+			fmt.Fprintf(&b, "layer%d: so=%d tip=%d hard=%d conf=%d\n",
+				i, lr.SideOverlayNM, lr.TipOverlayNM, lr.HardOverlays, len(lr.Conflicts))
+		}
+		return buf.Bytes(), b.String()
+	}
+
+	nl1, run1 := snapshot()
+	nl2, run2 := snapshot()
+	if !bytes.Equal(nl1, nl2) {
+		t.Fatal("bench.Generate is not byte-identical across runs with the same seed")
+	}
+	if run1 != run2 {
+		t.Fatalf("router.Route is not deterministic across runs:\n--- run1\n%s\n--- run2\n%s", run1, run2)
+	}
+}

@@ -64,9 +64,16 @@ func TestExhaustiveRespectsBudget(t *testing.T) {
 // a shared instance.
 func TestBaselinesNeverBeatOursOnOverlay(t *testing.T) {
 	cfg := bench.RunConfig{Rules: rules.Node10nm(), Budget: time.Minute}
-	ours := bench.Run(bench.Generate(*instance(1)), bench.AlgoOurs, cfg)
-	tg := bench.Run(bench.Generate(*instance(1)), bench.AlgoTrimGreedy, cfg)
-	cm := bench.Run(bench.Generate(*instance(1)), bench.AlgoCutNoMerge, cfg)
+	mustRun := func(algo bench.Algo) bench.Metrics {
+		m, err := bench.Run(bench.Generate(*instance(1)), algo, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	ours := mustRun(bench.AlgoOurs)
+	tg := mustRun(bench.AlgoTrimGreedy)
+	cm := mustRun(bench.AlgoCutNoMerge)
 	if ours.Conflicts+ours.HardOverlays != 0 {
 		t.Fatalf("ours must be conflict-free, got %d/%d", ours.Conflicts, ours.HardOverlays)
 	}

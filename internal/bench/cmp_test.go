@@ -13,9 +13,16 @@ import (
 func TestCompareSmall(t *testing.T) {
 	cfg := RunConfig{Rules: rules.Node10nm(), Budget: 2 * time.Minute}
 	sp := Spec{Name: "cmp", Nets: 200, Tracks: 64, Layers: 3, Seed: 5, PinCandidates: 1, AvgHPWL: 6, Blockages: 2}
-	ours := Run(Generate(sp), AlgoOurs, cfg)
-	gp := Run(Generate(sp), AlgoTrimGreedy, cfg)
-	nm := Run(Generate(sp), AlgoCutNoMerge, cfg)
+	mustRun := func(algo Algo) Metrics {
+		m, err := Run(Generate(sp), algo, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	ours := mustRun(AlgoOurs)
+	gp := mustRun(AlgoTrimGreedy)
+	nm := mustRun(AlgoCutNoMerge)
 	for _, m := range []Metrics{ours, gp, nm} {
 		t.Logf("%-14s rout=%.1f%% overlay=%.1fu conf=%d hard=%d viol=%d cpu=%v",
 			m.Algo, m.RoutabilityPct, m.OverlayUnits, m.Conflicts, m.HardOverlays, m.Violations, m.CPU)
@@ -25,5 +32,13 @@ func TestCompareSmall(t *testing.T) {
 	}
 	if !(ours.OverlayUnits < gp.OverlayUnits && ours.OverlayUnits < nm.OverlayUnits) {
 		t.Errorf("ours must have the smallest overlay")
+	}
+}
+
+// TestRunUnknownAlgo pins the error contract: library code must not panic.
+func TestRunUnknownAlgo(t *testing.T) {
+	sp := Spec{Name: "bad-algo", Nets: 2, Tracks: 12, Layers: 2, Seed: 1, PinCandidates: 1, AvgHPWL: 4}
+	if _, err := Run(Generate(sp), Algo("no-such-algo"), RunConfig{Rules: rules.Node10nm()}); err == nil {
+		t.Fatal("Run must return an error for an unknown algorithm")
 	}
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"time"
 
 	"sadproute/internal/baseline"
@@ -51,9 +52,10 @@ type RunConfig struct {
 }
 
 // Run routes the netlist with the chosen algorithm and measures the
-// result with the matching decomposition oracle. A nil result with NA=true
-// is returned when the algorithm exceeded the budget.
-func Run(nl *netlist.Netlist, algo Algo, cfg RunConfig) Metrics {
+// result with the matching decomposition oracle. Metrics with NA=true are
+// returned when the algorithm exceeded the budget; an unknown algorithm is
+// an error.
+func Run(nl *netlist.Netlist, algo Algo, cfg RunConfig) (Metrics, error) {
 	m := Metrics{
 		Bench:  nl.Name,
 		Algo:   string(algo),
@@ -84,13 +86,13 @@ func Run(nl *netlist.Netlist, algo Algo, cfg RunConfig) Metrics {
 		if out == nil {
 			m.NA = true
 			m.CPU = cfg.Budget
-			return m
+			return m, nil
 		}
 		fillBaseline(&m, out)
 	default:
-		panic("bench: unknown algorithm " + string(algo))
+		return Metrics{}, fmt.Errorf("bench: unknown algorithm %q", string(algo))
 	}
-	return m
+	return m, nil
 }
 
 func fillBaseline(m *Metrics, out *baseline.Out) {

@@ -124,8 +124,20 @@ func buildBridges(ly Layout, mats []Mat, ts []tgt, tix *rectIndex, res *Result) 
 					return
 				}
 				br := bridgeRect(a.Rect, b.Rect)
-				corner := a.Rect.GapX(b.Rect) > 0 && a.Rect.GapY(b.Rect) > 0
+				// Diagonal pairs include the degenerate case where the two
+				// rects touch in one axis projection (zero-width cross):
+				// without special handling the bridge is empty and the pair
+				// would be marked merged while staying physically apart —
+				// two printed features under d_core. Widen the touch line
+				// to w_core so the connection is real.
+				corner := a.Rect.OverlapX(b.Rect) <= 0 && a.Rect.OverlapY(b.Rect) <= 0
 				if corner {
+					if br.X1 <= br.X0 {
+						br.X0, br.X1 = br.X0-ds.WCore/2, br.X0+ds.WCore/2
+					}
+					if br.Y1 <= br.Y0 {
+						br.Y0, br.Y1 = br.Y0-ds.WCore/2, br.Y0+ds.WCore/2
+					}
 					thick := br.Expand(ds.WCore)
 					switch {
 					case !bridgeCollision(ly, thick, a.Rect, b.Rect, ts, tix):

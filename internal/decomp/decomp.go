@@ -158,7 +158,7 @@ type Result struct {
 	// SideOverlayNM is the total length of non-tip overlays in nm.
 	// SideOverlayUnits is the same in w_line units (the paper's metric).
 	SideOverlayNM    int
-	SideOverlayUnits float64
+	SideOverlayUnits float64 //lint:allow float reporting-only metric, never fed back into geometry
 	TipOverlayNM     int
 	HardOverlays     int
 	Overlays         []Overlay

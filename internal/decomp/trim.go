@@ -74,7 +74,7 @@ func DecomposeTrim(ly Layout) *Result {
 		res.Conflicts = res.Conflicts[:nc]
 	}
 	res.Materials = mats
-	res.SideOverlayUnits = float64(res.SideOverlayNM) / float64(ly.Rules.WLine)
+	res.SideOverlayUnits = float64(res.SideOverlayNM) / float64(ly.Rules.WLine) //lint:allow float reporting-only: the paper quotes overlay in fractional w_line units
 	return res
 }
 

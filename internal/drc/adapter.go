@@ -1,0 +1,37 @@
+package drc
+
+import "sadproute/internal/decomp"
+
+// This file is the only bridge between the verifier and the oracle's
+// types. It performs pure type conversion — no geometry processing — so
+// the two implementations stay independent.
+
+// FromDecomp converts one oracle layout plus the synthesized core-mask
+// material into the verifier's cut-process input. The material list is the
+// oracle's output (assistant cores and merge bridges); the verifier checks
+// its legality rather than trusting it.
+func FromDecomp(ly decomp.Layout, mats []decomp.Mat) Layer {
+	out := Layer{Die: ly.Die}
+	for _, p := range ly.Pats {
+		out.Targets = append(out.Targets, Target{
+			Net:        p.Net,
+			Second:     p.Color == decomp.Second,
+			Unassigned: p.Color == decomp.Unassigned,
+			Rects:      p.Rects,
+		})
+	}
+	for _, m := range mats {
+		if m.Kind != decomp.MatCoreTarget {
+			out.Extra = append(out.Extra, m.Rect)
+		}
+	}
+	return out
+}
+
+// FromTrim converts one oracle layout into the verifier's trim-process
+// input (the trim process synthesizes no extra material).
+func FromTrim(ly decomp.Layout) Layer {
+	out := FromDecomp(ly, nil)
+	out.Trim = true
+	return out
+}

@@ -1,0 +1,126 @@
+package drc
+
+import "sort"
+
+// span is a half-open integer interval [lo, hi). Spans with hi <= lo are
+// empty. The verifier carries its own 1-D coverage arithmetic instead of
+// reusing package interval: the whole point of this package is that a bug
+// in the oracle's support code cannot cancel out in the checker.
+type span struct{ lo, hi int }
+
+func (s span) empty() bool { return s.hi <= s.lo }
+func (s span) length() int {
+	if s.empty() {
+		return 0
+	}
+	return s.hi - s.lo
+}
+
+// clip restricts s to the window [lo, hi).
+func (s span) clip(lo, hi int) span {
+	if s.lo < lo {
+		s.lo = lo
+	}
+	if s.hi > hi {
+		s.hi = hi
+	}
+	return s
+}
+
+// coverage accumulates raw spans and normalizes on demand.
+type coverage struct{ raw []span }
+
+func (c *coverage) add(s span) {
+	if !s.empty() {
+		c.raw = append(c.raw, s)
+	}
+}
+
+// union returns the sorted union of the accumulated spans with overlapping
+// and touching spans coalesced into maximal runs.
+func (c *coverage) union() []span {
+	if len(c.raw) == 0 {
+		return nil
+	}
+	sorted := make([]span, len(c.raw))
+	copy(sorted, c.raw)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].lo != sorted[j].lo {
+			return sorted[i].lo < sorted[j].lo
+		}
+		return sorted[i].hi < sorted[j].hi
+	})
+	out := sorted[:1]
+	for _, s := range sorted[1:] {
+		last := &out[len(out)-1]
+		if s.lo <= last.hi {
+			if s.hi > last.hi {
+				last.hi = s.hi
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// subtractSpans returns a \ b. Both inputs must be normalized (sorted,
+// disjoint, non-touching); the result is normalized.
+func subtractSpans(a, b []span) []span {
+	var out []span
+	bi := 0
+	for _, s := range a {
+		cur := s
+		for bi < len(b) && b[bi].hi <= cur.lo {
+			bi++
+		}
+		for j := bi; j < len(b) && b[j].lo < cur.hi; j++ {
+			if b[j].lo > cur.lo {
+				out = append(out, span{cur.lo, b[j].lo})
+			}
+			if b[j].hi >= cur.hi {
+				cur.hi = cur.lo // fully consumed
+				break
+			}
+			cur.lo = b[j].hi
+		}
+		if !cur.empty() {
+			out = append(out, cur)
+		}
+	}
+	return out
+}
+
+// intersectSpans returns a ∩ b for normalized inputs; the result is
+// normalized.
+func intersectSpans(a, b []span) []span {
+	var out []span
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].lo
+		if b[j].lo > lo {
+			lo = b[j].lo
+		}
+		hi := a[i].hi
+		if b[j].hi < hi {
+			hi = b[j].hi
+		}
+		if lo < hi {
+			out = append(out, span{lo, hi})
+		}
+		if a[i].hi < b[j].hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+func totalSpanLen(spans []span) int {
+	t := 0
+	for _, s := range spans {
+		t += s.length()
+	}
+	return t
+}

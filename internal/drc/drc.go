@@ -1,0 +1,605 @@
+// Package drc is an independent design-rule verifier for SADP cut-process
+// (and trim-process) layouts. It takes only raw per-layer geometry plus the
+// process rules and re-derives every verdict from scratch: per-net
+// connectivity, minimum width and spacing, side/tip/hard overlay
+// measurement and cut-mask d_cut conflicts. It deliberately shares no code
+// with the decomposition oracle in package decomp — it has its own interval
+// arithmetic, its own spatial index and its own boundary classification —
+// so the two implementations can be cross-checked differentially: any
+// disagreement on a layout is a bug in one of them.
+//
+// Division of labor with the oracle:
+//
+//   - The measured quantities (SideOverlayNM, TipOverlayNM, HardOverlays,
+//     Conflicts) and the decomposition-failure Violations/BadNets use the
+//     oracle's published semantics and must agree exactly.
+//   - RuleErrs are checks outside the oracle's scope: minimum width,
+//     minimum spacing (including the different-net short/abutment classes
+//     the router must rule out by construction), die containment,
+//     synthesized core-mask material legality (minimum width, the d_core
+//     merge fixpoint, spacer encroachment on second patterns). The w_cut
+//     mergeability rule needs no geometric check of its own: rule relation
+//     (2) (w_cut <= d_cut) makes the d_cut flank check subsume it.
+//
+// The verifier does not re-synthesize assistant cores or merge bridges —
+// synthesis is a design choice, not a rule — but it independently verifies
+// that the material handed to it is legal under the process rules.
+package drc
+
+import (
+	"fmt"
+	"sort"
+
+	"sadproute/internal/geom"
+	"sadproute/internal/rules"
+)
+
+// Target is one pattern: one net's fragmented geometry on one layer.
+type Target struct {
+	Net int
+	// Second marks the pattern as spacer-defined (second mask); otherwise
+	// it is printed by the core mask.
+	Second bool
+	// Unassigned marks a pattern with no mask assignment: a decomposition
+	// failure. The verifier records the violation and treats the pattern as
+	// core, mirroring the oracle so measurements stay comparable.
+	Unassigned bool
+	Rects      []geom.Rect // nm, half-open
+}
+
+// Layer is the verifier's input for one routing layer.
+type Layer struct {
+	Die     geom.Rect
+	Trim    bool // trim-process layer: no assists/bridges, trim-mask rules
+	Targets []Target
+	// Extra is the synthesized non-target core-mask material (assistant
+	// cores and merge bridges) whose legality the verifier checks. Unused
+	// in trim mode.
+	Extra []geom.Rect
+}
+
+// LayerReport is the verdict on one layer.
+type LayerReport struct {
+	SideOverlayNM int
+	TipOverlayNM  int
+	HardOverlays  int
+	Conflicts     int
+	// Violations are decomposition failures in the oracle's sense
+	// (unassigned patterns, different-net targets abutting).
+	Violations []string
+	// BadNets lists the nets implicated in Violations, sorted and deduped.
+	BadNets []int
+	// RuleErrs are independent rule checks outside the oracle's scope.
+	RuleErrs []string
+}
+
+// Clean reports whether the layer passed every check with zero overlay
+// violations (hard overlays and conflicts) — soft side/tip overlay length
+// is a quality metric, not a failure.
+func (lr *LayerReport) Clean() bool {
+	return lr.HardOverlays == 0 && lr.Conflicts == 0 &&
+		len(lr.Violations) == 0 && len(lr.RuleErrs) == 0
+}
+
+// Report is the verdict on a whole design.
+type Report struct {
+	Layers []*LayerReport
+	// ConnErrs lists nets whose metal is not a single connected component
+	// across all layers.
+	ConnErrs []string
+}
+
+// Clean reports whether every layer is clean and every net connected.
+func (r *Report) Clean() bool {
+	for _, lr := range r.Layers {
+		if !lr.Clean() {
+			return false
+		}
+	}
+	return len(r.ConnErrs) == 0
+}
+
+// trect is one flattened target rectangle.
+type trect struct {
+	pat, net int
+	second   bool
+	rect     geom.Rect
+}
+
+// mrect is one rectangle of core-mask material; pat >= 0 identifies a
+// core-printed target pattern, pat < 0 synthesized material.
+type mrect struct {
+	pat  int
+	rect geom.Rect
+}
+
+type layerCheck struct {
+	ds   rules.Set
+	ly   Layer
+	ts   []trect
+	ms   []mrect
+	tix  *stripeIndex
+	mix  *stripeIndex
+	rep  *LayerReport
+	bad  map[int]bool
+	seen map[[2]int]bool // deduped net pairs for spacing errors
+}
+
+// CheckLayer verifies one layer and returns its report.
+func CheckLayer(ly Layer, ds rules.Set) *LayerReport {
+	c := &layerCheck{
+		ds:   ds,
+		ly:   ly,
+		rep:  &LayerReport{},
+		bad:  make(map[int]bool),
+		seen: make(map[[2]int]bool),
+	}
+	c.flatten()
+	c.buildIndexes()
+	for ti := range c.ts {
+		c.checkTargetRect(ti)
+	}
+	for ti := range c.ts {
+		if ly.Trim && !c.ts[ti].second {
+			continue // trim: core boundaries are mask-defined, no overlays
+		}
+		c.measure(ti)
+	}
+	if ly.Trim {
+		c.trimConflicts()
+	} else {
+		c.checkMaterial()
+	}
+	c.rep.BadNets = sortedKeys(c.bad)
+	return c.rep
+}
+
+// CheckDesign verifies every layer and the cross-layer per-net
+// connectivity of the whole design.
+func CheckDesign(layers []Layer, ds rules.Set) *Report {
+	rep := &Report{Layers: make([]*LayerReport, len(layers))}
+	for i, ly := range layers {
+		rep.Layers[i] = CheckLayer(ly, ds)
+	}
+	rep.ConnErrs = checkConnectivity(layers)
+	return rep
+}
+
+func (c *layerCheck) violation(net int, format string, args ...any) {
+	c.rep.Violations = append(c.rep.Violations, fmt.Sprintf(format, args...))
+	c.bad[net] = true
+}
+
+func (c *layerCheck) ruleErr(format string, args ...any) {
+	c.rep.RuleErrs = append(c.rep.RuleErrs, fmt.Sprintf(format, args...))
+}
+
+func (c *layerCheck) flatten() {
+	for pi, t := range c.ly.Targets {
+		if t.Unassigned {
+			c.violation(t.Net, "pattern %d (net %d) has no mask assignment", pi, t.Net)
+		}
+		second := t.Second && !t.Unassigned
+		for _, r := range t.Rects {
+			if r.Empty() {
+				continue
+			}
+			c.ts = append(c.ts, trect{pat: pi, net: t.Net, second: second, rect: r})
+		}
+	}
+	for _, t := range c.ts {
+		if !t.second {
+			c.ms = append(c.ms, mrect{pat: t.pat, rect: t.rect})
+		}
+	}
+	if !c.ly.Trim {
+		for _, r := range c.ly.Extra {
+			if !r.Empty() {
+				c.ms = append(c.ms, mrect{pat: -1, rect: r})
+			}
+		}
+	}
+}
+
+func (c *layerCheck) buildIndexes() {
+	w := 4 * c.ds.Pitch()
+	c.tix = newStripeIndex(w)
+	for i, t := range c.ts {
+		c.tix.add(i, t.rect)
+	}
+	c.mix = newStripeIndex(w)
+	for i, m := range c.ms {
+		c.mix.add(i, m.rect)
+	}
+}
+
+// checkTargetRect runs the per-rectangle rule checks: minimum width, die
+// containment and different-net minimum spacing.
+func (c *layerCheck) checkTargetRect(ti int) {
+	t := c.ts[ti]
+	r := t.rect
+	ds := c.ds
+	if r.W() < ds.WLine || r.H() < ds.WLine {
+		c.ruleErr("net %d rect %v narrower than w_line=%d", t.net, r, ds.WLine)
+	}
+	if !c.ly.Die.ContainsRect(r) {
+		c.ruleErr("net %d rect %v outside die %v", t.net, r, c.ly.Die)
+	}
+	// Different-net clearance must be at least w_spacer: closer metal
+	// either shorts or starves the spacer. Edge abutment (a positive-length
+	// shared edge) is the oracle's "targets abut" violation and is reported
+	// by measure(); everything else below w_spacer is a RuleErr.
+	c.tix.each(r.Expand(ds.WSpacer), func(oi int, or geom.Rect) {
+		if oi <= ti {
+			return
+		}
+		o := c.ts[oi]
+		if o.net == t.net {
+			return
+		}
+		key := netPair(t.net, o.net)
+		if c.seen[key] {
+			return
+		}
+		switch {
+		case r.Intersects(or):
+			c.seen[key] = true
+			c.ruleErr("nets %d and %d short: %v overlaps %v", t.net, o.net, r, or)
+		case edgeAbut(r, or):
+			// reported as a decomposition violation by measure()
+		default:
+			if g := linfGap(r, or); g < ds.WSpacer {
+				c.seen[key] = true
+				c.ruleErr("nets %d and %d spaced %dnm < w_spacer=%d (%v vs %v)",
+					t.net, o.net, g, ds.WSpacer, r, or)
+			}
+		}
+	})
+}
+
+// edgeAbut reports whether two disjoint rects share an edge section of
+// positive length.
+func edgeAbut(a, b geom.Rect) bool {
+	if (a.X1 == b.X0 || b.X1 == a.X0) && a.OverlapY(b) > 0 {
+		return true
+	}
+	if (a.Y1 == b.Y0 || b.Y1 == a.Y0) && a.OverlapX(b) > 0 {
+		return true
+	}
+	return false
+}
+
+// linfGap returns the L-infinity clearance between two rects (0 when they
+// overlap or touch).
+func linfGap(a, b geom.Rect) int {
+	gx, gy := a.GapX(b), a.GapY(b)
+	if gx > gy {
+		return gx
+	}
+	return gy
+}
+
+// netPair normalizes a net pair into a dedup key.
+func netPair(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// side enumerates the four boundaries of a rectangle in the verifier's own
+// parametrization: the span interval along the boundary, the 1-unit field
+// row immediately outside it, and whether the boundary is a wire tip.
+type side struct {
+	spanLo, spanHi int  // extent along the boundary
+	rowLo          int  // low edge of the 1-unit outside field row
+	horiz          bool // boundary runs along X (top/bottom)
+	tip            bool
+}
+
+func sidesOf(r geom.Rect) [4]side {
+	horizWire := r.W() > r.H()
+	vertWire := r.H() > r.W()
+	return [4]side{
+		{r.Y0, r.Y1, r.X0 - 1, false, horizWire}, // left
+		{r.Y0, r.Y1, r.X1, false, horizWire},     // right
+		{r.X0, r.X1, r.Y0 - 1, true, vertWire},   // bottom
+		{r.X0, r.X1, r.Y1, true, vertWire},       // top
+	}
+}
+
+// extents returns o's extents along the span axis and perpendicular to it.
+func (s side) extents(o geom.Rect) (alo, ahi, plo, phi int) {
+	if s.horiz {
+		return o.X0, o.X1, o.Y0, o.Y1
+	}
+	return o.Y0, o.Y1, o.X0, o.X1
+}
+
+// rowCovered reports whether a perpendicular extent [plo,phi) covers the
+// whole 1-unit field row starting at rowLo.
+func (s side) rowCovered(plo, phi int) bool {
+	return plo <= s.rowLo && phi >= s.rowLo+1
+}
+
+// measure classifies every boundary section of one target rectangle as
+// interior (same-polygon seam), spacer-protected, or cut-defined overlay,
+// then pairs opposite-side overlays closer than d_cut into conflicts.
+//
+// A boundary section is cut-defined exactly when the field row immediately
+// outside it is neither covered by other target metal nor covered by
+// spacer. Spacer covers the row where core-mask material lies within
+// w_spacer of it — unless that material itself reaches the row, in which
+// case the cut (which removes non-target material) defines the section.
+func (c *layerCheck) measure(ti int) {
+	t := c.ts[ti]
+	r := t.rect
+	ds := c.ds
+	ws := ds.WSpacer
+
+	var ovBySide [4][]span
+	sides := sidesOf(r)
+	for si, sd := range sides {
+		var interior, touch, prot coverage
+
+		// Other targets covering the outside row: same-pattern rects are
+		// polygon seams; different-pattern metal there is an abutment
+		// violation (but still not a cut boundary).
+		c.tix.each(r.Expand(1), func(oi int, or geom.Rect) {
+			if oi == ti {
+				return
+			}
+			alo, ahi, plo, phi := sd.extents(or)
+			if !sd.rowCovered(plo, phi) {
+				return
+			}
+			iv := span{alo, ahi}.clip(sd.spanLo, sd.spanHi)
+			if iv.empty() {
+				return
+			}
+			o := c.ts[oi]
+			if o.pat != t.pat {
+				c.violation(t.net, "targets of nets %d and %d abut at %v", t.net, o.net, r)
+				c.violation(o.net, "targets of nets %d and %d abut (mirror)", t.net, o.net)
+			}
+			interior.add(iv)
+		})
+
+		// Core-mask material: material reaching the row is cut-defined
+		// (unless it is this pattern's own printed core — a seam); material
+		// within w_spacer of the row lays spacer over it.
+		c.mix.each(r.Expand(ws+1), func(mi int, mr geom.Rect) {
+			m := c.ms[mi]
+			alo, ahi, plo, phi := sd.extents(mr)
+			if sd.rowCovered(plo, phi) {
+				iv := span{alo, ahi}.clip(sd.spanLo, sd.spanHi)
+				if m.pat >= 0 && m.pat == t.pat {
+					interior.add(iv)
+				} else {
+					touch.add(iv)
+				}
+				return
+			}
+			if sd.rowCovered(plo-ws, phi+ws) {
+				prot.add(span{alo - ws, ahi + ws}.clip(sd.spanLo, sd.spanHi))
+			}
+		})
+
+		full := []span{{sd.spanLo, sd.spanHi}}
+		ov := subtractSpans(
+			subtractSpans(full, interior.union()),
+			subtractSpans(prot.union(), touch.union()),
+		)
+		ovBySide[si] = ov
+		for _, iv := range ov {
+			if sd.tip {
+				c.rep.TipOverlayNM += iv.length()
+				continue
+			}
+			c.rep.SideOverlayNM += iv.length()
+			if iv.length() > ds.WLine {
+				c.rep.HardOverlays++
+			}
+		}
+	}
+
+	if c.ly.Trim {
+		return // trim edges cover rather than flank: no d_cut pairing
+	}
+	// Opposing cut regions closer than d_cut across the wire body.
+	if r.W() < ds.DCut {
+		c.rep.Conflicts += len(intersectSpans(ovBySide[0], ovBySide[1]))
+	}
+	if r.H() < ds.DCut {
+		c.rep.Conflicts += len(intersectSpans(ovBySide[2], ovBySide[3]))
+	}
+}
+
+// trimConflicts reports same-mask spacing conflicts of the trim process:
+// two same-color patterns with a positive L-infinity gap under d_core
+// cannot be separated (no merge technique exists), counted once per
+// pattern pair.
+func (c *layerCheck) trimConflicts() {
+	dcore := c.ds.DCore
+	pairs := make(map[[2]int]bool)
+	for i := range c.ts {
+		a := c.ts[i]
+		c.tix.each(a.rect.Expand(dcore), func(j int, br geom.Rect) {
+			if j <= i {
+				return
+			}
+			b := c.ts[j]
+			if a.second != b.second {
+				return
+			}
+			g := linfGap(a.rect, br)
+			if g == 0 || g >= dcore {
+				return
+			}
+			pairs[netPair(a.pat, b.pat)] = true
+		})
+	}
+	c.rep.Conflicts += len(pairs)
+}
+
+// checkMaterial verifies the synthesized core-mask material (cut mode):
+// minimum width, the d_core merge fixpoint (no two distinct mask blobs may
+// remain closer than d_core) and spacer encroachment on second patterns.
+func (c *layerCheck) checkMaterial() {
+	ds := c.ds
+	if len(c.ms) == 0 {
+		return
+	}
+	// Minimum width applies to printed target material; sacrificial
+	// material (assists, bridges) may dip under w_core where it lies over
+	// spacer — a waivable core-mask MRC violation (Section II-B), e.g. the
+	// thin fallback corner bridge or a bridge meeting a d_core-trimmed
+	// assist edge.
+	for _, m := range c.ms {
+		if m.pat >= 0 && (m.rect.W() < ds.WCore || m.rect.H() < ds.WCore) {
+			c.ruleErr("core material %v narrower than w_core=%d", m.rect, ds.WCore)
+		}
+	}
+	// Blobs: touching or overlapping material prints as one mask shape.
+	uf := newUnionFind(len(c.ms))
+	for i := range c.ms {
+		c.mix.each(c.ms[i].rect.Expand(1), func(j int, jr geom.Rect) {
+			if j <= i {
+				return
+			}
+			if linfGap(c.ms[i].rect, jr) == 0 {
+				uf.unite(i, j)
+			}
+		})
+	}
+	reported := make(map[[2]int]bool)
+	for i := range c.ms {
+		c.mix.each(c.ms[i].rect.Expand(ds.DCore), func(j int, jr geom.Rect) {
+			if j <= i || uf.root(i) == uf.root(j) {
+				return
+			}
+			if g := linfGap(c.ms[i].rect, jr); g > 0 && g < ds.DCore {
+				key := netPair(uf.root(i), uf.root(j))
+				if !reported[key] {
+					reported[key] = true
+					c.ruleErr("unmerged core material: %v and %v spaced %dnm < d_core=%d",
+						c.ms[i].rect, jr, g, ds.DCore)
+				}
+			}
+		})
+	}
+	// Core-mask material overlapping a second target destroys the target
+	// outright. Mere proximity under w_spacer is not an error: the pinched
+	// boundary becomes cut-defined and is already measured as overlay.
+	for ti := range c.ts {
+		t := c.ts[ti]
+		if !t.second {
+			continue
+		}
+		c.mix.each(t.rect, func(mi int, mr geom.Rect) {
+			if mr.Intersects(t.rect) {
+				c.ruleErr("core material %v overlaps second target of net %d", mr, t.net)
+			}
+		})
+	}
+}
+
+// unionFind is the verifier's own disjoint-set forest.
+type unionFind struct{ up []int }
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{up: make([]int, n)}
+	for i := range u.up {
+		u.up[i] = i
+	}
+	return u
+}
+
+func (u *unionFind) root(x int) int {
+	r := x
+	for u.up[r] != r {
+		r = u.up[r]
+	}
+	for u.up[x] != r {
+		u.up[x], x = r, u.up[x]
+	}
+	return r
+}
+
+func (u *unionFind) unite(a, b int) { u.up[u.root(a)] = u.root(b) }
+
+// checkConnectivity verifies that every net's metal forms one connected
+// component: rects on the same layer connect when they overlap or share an
+// edge of positive length; rects on adjacent layers connect through a via
+// wherever their footprints overlap.
+func checkConnectivity(layers []Layer) []string {
+	type piece struct {
+		layer int
+		rect  geom.Rect
+	}
+	byNet := make(map[int][]piece)
+	for li, ly := range layers {
+		for _, t := range ly.Targets {
+			for _, r := range t.Rects {
+				if !r.Empty() {
+					byNet[t.Net] = append(byNet[t.Net], piece{li, r})
+				}
+			}
+		}
+	}
+	var errs []string
+	for _, net := range sortedKeys2(byNet) {
+		ps := byNet[net]
+		if len(ps) < 2 {
+			continue
+		}
+		uf := newUnionFind(len(ps))
+		for i := 0; i < len(ps); i++ {
+			for j := i + 1; j < len(ps); j++ {
+				dl := ps[i].layer - ps[j].layer
+				if dl < 0 {
+					dl = -dl
+				}
+				switch dl {
+				case 0:
+					if ps[i].rect.Intersects(ps[j].rect) || edgeAbut(ps[i].rect, ps[j].rect) {
+						uf.unite(i, j)
+					}
+				case 1:
+					if ps[i].rect.Intersects(ps[j].rect) {
+						uf.unite(i, j)
+					}
+				}
+			}
+		}
+		comps := make(map[int]bool)
+		for i := range ps {
+			comps[uf.root(i)] = true
+		}
+		if len(comps) > 1 {
+			errs = append(errs, fmt.Sprintf("net %d metal is disconnected (%d components)", net, len(comps)))
+		}
+	}
+	return errs
+}
+
+func sortedKeys(m map[int]bool) []int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedKeys2[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,59 @@
+package drc_test
+
+import (
+	"testing"
+
+	"sadproute/internal/decomp"
+	"sadproute/internal/geom"
+)
+
+// FuzzDRCAgreesWithOracle is the differential bench suite's adversary:
+// arbitrary (including off-grid) geometry must produce identical measured
+// verdicts from the independent verifier and the decomposition oracle, in
+// both the cut and the trim process. compareOracle applies the one
+// documented carve-out: layouts where the oracle reports merge-bridge
+// violations skip the BadNets comparison (the verifier classifies those
+// differently by design).
+func FuzzDRCAgreesWithOracle(f *testing.F) {
+	f.Add([]byte{2, 1, 0, 10, 10, 5, 5, 2, 1, 60, 10, 5, 5}, false)
+	f.Add([]byte{4, 2, 1, 40, 40, 11, 50, 1, 0, 90, 40, 11, 50}, true)
+	f.Add([]byte{}, false)
+	f.Fuzz(func(t *testing.T, data []byte, trim bool) {
+		ly := fuzzDRCLayout(data)
+		for _, d := range compareOracle(ly, trim) {
+			t.Errorf("verifier/oracle disagreement (trim=%v): %s", trim, d)
+		}
+	})
+}
+
+// fuzzDRCLayout decodes bytes into a small layout; totally defined on any
+// byte string.
+func fuzzDRCLayout(data []byte) decomp.Layout {
+	pos := 0
+	next := func() int {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return int(b)
+	}
+	ly := decomp.Layout{
+		Rules: ds,
+		Die:   geom.Rect{X0: -400, Y0: -400, X1: 1600, Y1: 1600},
+	}
+	n := 1 + next()%6
+	for i := 0; i < n; i++ {
+		color := decomp.Color(next() % 3)
+		var rects []geom.Rect
+		for k := 0; k < 1+next()%2; k++ {
+			x0 := next()*5 - 200
+			y0 := next()*5 - 200
+			w := 10 + next()%61
+			h := 10 + next()%61
+			rects = append(rects, geom.Rect{X0: x0, Y0: y0, X1: x0 + w, Y1: y0 + h})
+		}
+		ly.Pats = append(ly.Pats, decomp.Pattern{Net: i, Color: color, Rects: rects})
+	}
+	return ly
+}

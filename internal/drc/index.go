@@ -1,0 +1,66 @@
+package drc
+
+import "sadproute/internal/geom"
+
+// stripeIndex is a one-axis striped spatial index over rectangles: every
+// rectangle is registered in the fixed-width X stripes it overlaps, and a
+// query visits the stripes its window covers. It is intentionally a
+// different data structure from the oracle's uniform-grid bucket index so
+// an indexing bug cannot cancel out across the two implementations.
+type stripeIndex struct {
+	width  int
+	rects  []geom.Rect
+	strips map[int][]int32
+	seen   []int32 // per-rect visit stamp for query deduplication
+	stamp  int32
+}
+
+func newStripeIndex(width int) *stripeIndex {
+	if width <= 0 {
+		width = 1
+	}
+	return &stripeIndex{width: width, strips: make(map[int][]int32)}
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// add registers rect i. Rects must be added with consecutive ids starting
+// at 0.
+func (ix *stripeIndex) add(i int, r geom.Rect) {
+	for len(ix.rects) <= i {
+		ix.rects = append(ix.rects, geom.Rect{})
+		ix.seen = append(ix.seen, 0)
+	}
+	ix.rects[i] = r
+	if r.Empty() {
+		return
+	}
+	for s := floorDiv(r.X0, ix.width); s <= floorDiv(r.X1-1, ix.width); s++ {
+		ix.strips[s] = append(ix.strips[s], int32(i))
+	}
+}
+
+// each calls fn for every registered rect whose closure intersects the
+// closure of q (i.e. including rects that merely touch q), each at most
+// once, in unspecified order. Callers apply their own precise predicates.
+func (ix *stripeIndex) each(q geom.Rect, fn func(i int, r geom.Rect)) {
+	ix.stamp++
+	for s := floorDiv(q.X0, ix.width); s <= floorDiv(q.X1, ix.width); s++ {
+		for _, id := range ix.strips[s] {
+			if ix.seen[id] == ix.stamp {
+				continue
+			}
+			ix.seen[id] = ix.stamp
+			r := ix.rects[id]
+			if r.X0 <= q.X1 && q.X0 <= r.X1 && r.Y0 <= q.Y1 && q.Y0 <= r.Y1 {
+				fn(int(id), r)
+			}
+		}
+	}
+}

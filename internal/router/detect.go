@@ -12,7 +12,9 @@ import (
 	"sadproute/internal/grid"
 )
 
-var debugWindow = os.Getenv("SADP_DEBUG_WINDOW") != ""
+// debugWindowEnv is the documented fallback for Options.DebugWindow (see
+// README "Verification & static analysis").
+var debugWindowEnv = os.Getenv("SADP_DEBUG_WINDOW") != "" //lint:allow getenv documented fallback for Options.DebugWindow, see README
 
 // windowResolve implements the paper's per-net cut conflict check scheme
 // (Section III-D) with color-based resolution: decompose a local window
@@ -93,7 +95,7 @@ func (st *state) windowResolve(id int) (bad bool, hot []grid.Cell) {
 		for n, col := range saved {
 			st.colors[l][n] = col
 		}
-		if debugWindow {
+		if st.opt.DebugWindow || debugWindowEnv {
 			fmt.Fprintf(os.Stderr, "WIN net=%d l=%d base=%d cur=%d comp=%d\n",
 				id, l, baseBad, curBad, len(comp))
 		}

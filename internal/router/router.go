@@ -52,6 +52,10 @@ type Options struct {
 	DirPenalty int
 	// MaxExpand bounds A* node expansions per attempt (0 = unbounded).
 	MaxExpand int
+	// DebugWindow logs each failed window-resolve attempt (net, layer,
+	// badness before/after, component size) to stderr. The SADP_DEBUG_WINDOW
+	// environment variable, documented in the README, turns it on as well.
+	DebugWindow bool
 }
 
 // Defaults returns the paper's parameter settings.
