@@ -8,6 +8,7 @@
 //	experiments -which fig21,fig22 -out out/  # Figs. 21/22 (SVG + ASCII)
 //	experiments -which appendix               # Figs. 24-34 enumeration
 //	experiments -which ablation               # design-choice ablations
+//	experiments -which stages                 # per-stage timing breakdown
 //
 // -scale small shrinks the benchmark sizes for quick runs; -scale paper
 // uses the paper's 1.5k-28k-net sizes.
@@ -38,7 +39,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		which  = fs.String("which", "table2", "comma list: table2,table3,table4,fig20,fig21,fig22,appendix,ablation,all")
+		which  = fs.String("which", "table2", "comma list: table2,table3,table4,fig20,fig21,fig22,stages,appendix,ablation,all")
 		scale  = fs.String("scale", "small", "benchmark scale: small | medium | paper")
 		outDir = fs.String("out", "results", "output directory")
 		budget = fs.Duration("budget", 30*time.Minute, "per-run time budget for the exhaustive baseline")
@@ -86,6 +87,7 @@ func run(args []string, stdout io.Writer) error {
 		{"table3", func() (string, error) { return table3(ds, *scale) }},
 		{"table4", func() (string, error) { return table4(ds, *scale, *budget) }},
 		{"fig20", func() (string, error) { return fig20(ds, *scale) }},
+		{"stages", func() (string, error) { return stages(ds, *scale) }},
 		{"fig21", func() (string, error) { return fig21(ds, *outDir) }},
 		{"fig22", func() (string, error) { return fig22(ds, *outDir) }},
 		{"ablation", func() (string, error) { return ablation(ds, *scale) }},

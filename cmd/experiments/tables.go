@@ -185,3 +185,19 @@ func fig20(ds rules.Set, scale string) (string, error) {
 	fmt.Fprintf(&b, "\nleast-squares fit: CPU ~ %.3g * n^%.2f (paper reports n^1.42)\n", c, k)
 	return b.String(), nil
 }
+
+// stages renders the observability layer's per-stage wall-time breakdown
+// and search-effort counters for our router across the benchmark suite —
+// the profile behind the paper's runtime discussion (Section IV).
+func stages(ds rules.Set, scale string) (string, error) {
+	cfg := bench.RunConfig{Rules: ds}
+	var rows []bench.Metrics
+	for _, sp := range specsFor(scale, true) {
+		m, err := bench.Run(bench.Generate(sp), bench.AlgoOurs, cfg)
+		if err != nil {
+			return "", err
+		}
+		rows = append(rows, m)
+	}
+	return report.StageTable("Stage timing — ours (wall seconds per pipeline stage)", rows), nil
+}

@@ -10,6 +10,9 @@
 //   - panic: no panic in library packages (internal/...) outside
 //     constructor validation (New*/Must*).
 //   - getenv: no undocumented os.Getenv/os.LookupEnv reads.
+//   - stderr: no direct os.Stderr references in library packages
+//     (internal/...) — diagnostics flow through the internal/obs recorder;
+//     internal/obs itself, which owns the sanctioned default, is exempt.
 //
 // A finding is suppressed by a `//lint:allow <rule> <justification>`
 // comment on the same line or the line above; the justification is

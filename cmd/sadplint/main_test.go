@@ -40,6 +40,8 @@ func TestFixtureFindings(t *testing.T) {
 		"internal/lib/lib.go:63:9: [getenv] os.Getenv read",
 		// malformed directive is itself a finding
 		"internal/lib/lib.go:63:40: [directive] lint:allow needs a rule name and a justification",
+		// stderr rule: direct write in library code
+		"internal/lib/lib.go:69:15: [stderr] os.Stderr in library code",
 	}
 	for _, w := range want {
 		if !strings.Contains(out, w) {
@@ -52,6 +54,8 @@ func TestFixtureFindings(t *testing.T) {
 		"lib.go:19",  // panic inside NewCounter is constructor validation
 		"lib.go:36",  // sorted map collection is the clean idiom
 		"lib.go:57",  // whitelisted getenv
+		"lib.go:74",  // whitelisted stderr write
+		"obs.go",     // internal/obs owns the sanctioned os.Stderr default
 		"cmd/tool",   // panic rule does not apply to commands
 	}
 	for _, d := range donts {

@@ -19,6 +19,7 @@ const (
 	ruleFloat     = "float"     // floating point in integer-grid geometry packages
 	rulePanic     = "panic"     // panic in library code outside constructor validation
 	ruleGetenv    = "getenv"    // undocumented environment-variable read
+	ruleStderr    = "stderr"    // direct os.Stderr write in library code
 	ruleDirective = "directive" // malformed lint directive
 )
 
@@ -86,6 +87,7 @@ func lintFile(l *loader, p *lintPkg, file *ast.File) []finding {
 	c.checkGetenv()
 	c.checkPanic()
 	c.checkMapRange()
+	c.checkStderr()
 	if floatPkgs[p.relDir] {
 		c.checkFloat()
 	}
@@ -168,6 +170,32 @@ func (c *checker) checkGetenv() {
 			c.report(sel.Pos(), ruleGetenv,
 				"os.%s read: environment switches must be documented and whitelisted", sel.Sel.Name)
 		}
+		return true
+	})
+}
+
+// checkStderr flags os.Stderr references in library packages (internal/...):
+// diagnostics must flow through the internal/obs recorder so callers control
+// the destination and tests can capture it. internal/obs itself is exempt —
+// it holds the one sanctioned os.Stderr default (Recorder.EnsureDebug).
+func (c *checker) checkStderr() {
+	if !strings.HasPrefix(c.p.relDir, "internal/") && c.p.relDir != "internal" {
+		return
+	}
+	if c.p.relDir == "internal/obs" {
+		return
+	}
+	ast.Inspect(c.file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != "os" || sel.Sel.Name != "Stderr" {
+			return true
+		}
+		c.report(sel.Pos(), ruleStderr,
+			"os.Stderr in library code: route diagnostics through internal/obs (Recorder.Debugf / trace events)")
 		return true
 	})
 }

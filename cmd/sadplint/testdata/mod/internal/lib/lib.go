@@ -62,3 +62,14 @@ func DebugAllowed() bool {
 func Malformed() bool {
 	return os.Getenv("FIXTURE_BAD") != "" //lint:allow getenv
 }
+
+// Log trips the stderr rule: library diagnostics must go through the
+// observability recorder, not straight to the process stderr.
+func Log(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+}
+
+// LogAllowed is the documented escape hatch for the stderr rule.
+func LogAllowed(msg string) {
+	fmt.Fprintln(os.Stderr, msg) //lint:allow stderr fixture: documented fallback writer
+}

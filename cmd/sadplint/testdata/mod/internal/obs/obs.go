@@ -1,0 +1,13 @@
+// Package obs mirrors the real internal/obs: it is the one library package
+// allowed to reference os.Stderr (the default debug destination).
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+// Debugf writes to the sanctioned default diagnostic stream.
+func Debugf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format, args...)
+}

@@ -2,9 +2,11 @@
 // detailed router, evaluates the result with the decomposition oracle, and
 // optionally renders it:
 //
-//	sadproute -in design.nl            # route, print metrics
-//	sadproute -in design.nl -svg out/  # also write per-layer SVGs
-//	sadproute -in design.nl -no-flip   # ablate the color-flipping DP
+//	sadproute -in design.nl               # route, print metrics
+//	sadproute -in design.nl -svg out/     # also write per-layer SVGs
+//	sadproute -in design.nl -no-flip      # ablate the color-flipping DP
+//	sadproute -in design.nl -trace t.jsonl -metrics  # observability
+//	sadproute -in design.nl -cpuprofile cpu.pprof    # profiling
 package main
 
 import (
@@ -14,9 +16,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"sadproute"
 	"sadproute/internal/decomp"
+	"sadproute/internal/obs"
 	"sadproute/internal/render"
 )
 
@@ -31,10 +36,14 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sadproute", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		in      = fs.String("in", "", "netlist file (see package netlist for the format)")
-		svgDir  = fs.String("svg", "", "directory for per-layer SVG renderings (optional)")
-		noFlip  = fs.Bool("no-flip", false, "disable the color-flipping DP")
-		noGamma = fs.Bool("no-gamma", false, "disable the type-2-b routing penalty")
+		in         = fs.String("in", "", "netlist file (see package netlist for the format)")
+		svgDir     = fs.String("svg", "", "directory for per-layer SVG renderings (optional)")
+		noFlip     = fs.Bool("no-flip", false, "disable the color-flipping DP")
+		noGamma    = fs.Bool("no-gamma", false, "disable the type-2-b routing penalty")
+		traceFile  = fs.String("trace", "", "write a deterministic JSONL trace of the run to this file")
+		metrics    = fs.Bool("metrics", false, "print the full counter/gauge/stage-timing snapshot")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -56,6 +65,18 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	if *cpuProfile != "" {
+		cf, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	opt := sadp.Defaults()
 	if *noFlip {
 		opt.ColorFlip = false
@@ -63,19 +84,59 @@ func run(args []string, stdout io.Writer) error {
 	if *noGamma {
 		opt.Gamma2 = 0
 	}
+	rec := sadp.NewRecorder()
+	opt.Obs = rec
+	var traceOut *os.File
+	if *traceFile != "" {
+		traceOut, err = os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer traceOut.Close()
+		rec.SetTrace(traceOut)
+	}
+
 	ds := sadp.Node10nm()
+	stopTotal := rec.Span(obs.StageTotal)
 	res := sadp.Route(nl, ds, opt)
+	stopEval := rec.Span(obs.StageEvaluate)
 	_, tot := sadp.Evaluate(res)
+	stopEval()
+	stopTotal()
+	snap := rec.Snapshot()
 
 	fmt.Fprintf(stdout, "design        : %s (%d nets, %dx%d tracks, %d layers)\n",
 		nl.Name, len(nl.Nets), nl.W, nl.H, nl.Layers)
 	fmt.Fprintf(stdout, "routability   : %.2f%% (%d routed, %d failed)\n", res.Routability(), res.Routed, res.Failed)
-	fmt.Fprintf(stdout, "wirelength    : %d tracks, %d vias, %d rip-ups\n", res.WirelengthCells, res.Vias, res.Ripups)
+	fmt.Fprintf(stdout, "wirelength    : %d tracks, %d vias, %d rip-ups\n",
+		res.WirelengthCells, res.Vias, snap.Counter(obs.CtrRouteRipups))
 	fmt.Fprintf(stdout, "side overlay  : %.1f units (%d nm), tips %d nm\n", tot.SideOverlayUnits, tot.SideOverlayNM, tot.TipOverlayNM)
 	fmt.Fprintf(stdout, "hard overlays : %d\n", tot.HardOverlays)
 	fmt.Fprintf(stdout, "cut conflicts : %d\n", tot.Conflicts)
 	fmt.Fprintf(stdout, "violations    : %d\n", tot.Violations)
 	fmt.Fprintf(stdout, "CPU           : %v\n", res.CPU)
+
+	if *metrics {
+		fmt.Fprintf(stdout, "\nmetrics:\n%s", snap.String())
+	}
+	if traceOut != nil {
+		if err := rec.TraceErr(); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *traceFile)
+	}
+
+	if *memProfile != "" {
+		mf, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			return err
+		}
+	}
 
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -56,6 +57,92 @@ func TestTinyInstance(t *testing.T) {
 	for _, want := range []string{"design", "routability", "cut conflicts", "layer0.svg"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTraceAndMetrics exercises the observability flags: the trace must be
+// non-empty well-formed JSONL with dense sequence numbers, and -metrics must
+// print the counter snapshot.
+func TestTraceAndMetrics(t *testing.T) {
+	nl := sadp.Generate(sadp.Spec{
+		Name: "obs", Nets: 8, Tracks: 16, Layers: 2, Seed: 5,
+		PinCandidates: 1, AvgHPWL: 4,
+	})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "obs.nl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sadp.WriteNetlist(f, nl); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	trace := filepath.Join(dir, "trace.jsonl")
+	var b strings.Builder
+	if err := run([]string{"-in", path, "-trace", trace, "-metrics"}, &b); err != nil {
+		t.Fatalf("run with -trace/-metrics failed: %v\n%s", err, b.String())
+	}
+	for _, want := range []string{"metrics:", "counter astar.searches", "stage   route", "rip-ups"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, b.String())
+		}
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("trace file is empty")
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	for i, line := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line %d is not valid JSON: %v: %q", i, err, line)
+		}
+		seq, ok := ev["seq"].(float64)
+		if !ok || int(seq) != i+1 {
+			t.Fatalf("trace line %d has seq %v, want %d", i, ev["seq"], i+1)
+		}
+		if _, ok := ev["ev"].(string); !ok {
+			t.Fatalf("trace line %d missing ev field: %q", i, line)
+		}
+	}
+}
+
+// TestProfiles checks the pprof flags produce non-empty profile files.
+func TestProfiles(t *testing.T) {
+	nl := sadp.Generate(sadp.Spec{
+		Name: "prof", Nets: 6, Tracks: 14, Layers: 2, Seed: 9,
+		PinCandidates: 1, AvgHPWL: 4,
+	})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prof.nl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sadp.WriteNetlist(f, nl); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var b strings.Builder
+	if err := run([]string{"-in", path, "-cpuprofile", cpu, "-memprofile", mem}, &b); err != nil {
+		t.Fatalf("run with profiles failed: %v\n%s", err, b.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
 		}
 	}
 }

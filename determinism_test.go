@@ -3,30 +3,43 @@ package sadp
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"testing"
 )
 
 // TestRouteDeterminism guards the ROADMAP's caching/parallelism work: the
 // generator must be a pure function of Spec.Seed and the router a pure
 // function of its input — two in-process runs produce byte-identical
-// netlists and byte-identical routing results.
+// netlists, byte-identical routing results, and byte-identical JSONL
+// traces (events carry a monotonic sequence number, never wall-clock).
 func TestRouteDeterminism(t *testing.T) {
 	sp := Spec{
 		Name: "det", Nets: 120, Tracks: 48, Layers: 3, Seed: 77,
 		PinCandidates: 2, AvgHPWL: 6, Blockages: 2,
 	}
-	snapshot := func() (netlistBytes []byte, resultDump string) {
+	snapshot := func() (netlistBytes []byte, resultDump, trace string) {
 		nl := Generate(sp)
 		var buf bytes.Buffer
 		if err := WriteNetlist(&buf, nl); err != nil {
 			t.Fatal(err)
 		}
-		res := Route(nl, Node10nm(), Defaults())
+		opt := Defaults()
+		rec := NewRecorder()
+		var tr bytes.Buffer
+		rec.SetTrace(&tr)
+		opt.Obs = rec
+		res := Route(nl, Node10nm(), opt)
+		if err := rec.TraceErr(); err != nil {
+			t.Fatal(err)
+		}
 		var b bytes.Buffer
-		// Everything but CPU time; fmt prints map keys in sorted order, so
-		// the dump is canonical.
-		fmt.Fprintf(&b, "routed=%d failed=%d wl=%d vias=%d ripups=%d flips=%d\n",
-			res.Routed, res.Failed, res.WirelengthCells, res.Vias, res.Ripups, res.Flips)
+		// Everything but CPU/stage times; fmt prints map keys in sorted
+		// order and CountersString excludes durations, so the dump is
+		// canonical.
+		fmt.Fprintf(&b, "routed=%d failed=%d wl=%d vias=%d\n",
+			res.Routed, res.Failed, res.WirelengthCells, res.Vias)
+		snap := rec.Snapshot()
+		b.WriteString(snap.CountersString())
 		fmt.Fprintf(&b, "paths=%v\n", res.Paths)
 		fmt.Fprintf(&b, "colors=%v\n", res.Colors)
 		layers, tot := Evaluate(res)
@@ -35,15 +48,43 @@ func TestRouteDeterminism(t *testing.T) {
 			fmt.Fprintf(&b, "layer%d: so=%d tip=%d hard=%d conf=%d\n",
 				i, lr.SideOverlayNM, lr.TipOverlayNM, lr.HardOverlays, len(lr.Conflicts))
 		}
-		return buf.Bytes(), b.String()
+		return buf.Bytes(), b.String(), tr.String()
 	}
 
-	nl1, run1 := snapshot()
-	nl2, run2 := snapshot()
+	nl1, run1, tr1 := snapshot()
+	nl2, run2, tr2 := snapshot()
 	if !bytes.Equal(nl1, nl2) {
 		t.Fatal("bench.Generate is not byte-identical across runs with the same seed")
 	}
 	if run1 != run2 {
 		t.Fatalf("router.Route is not deterministic across runs:\n--- run1\n%s\n--- run2\n%s", run1, run2)
 	}
+	if tr1 == "" {
+		t.Fatal("trace is empty: the router emitted no events")
+	}
+	if tr1 != tr2 {
+		i := 0
+		for i < len(tr1) && i < len(tr2) && tr1[i] == tr2[i] {
+			i++
+		}
+		lo := i - 120
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("JSONL trace is not byte-identical across runs; first divergence at byte %d:\n--- run1\n...%s\n--- run2\n...%s",
+			i, tr1[lo:min(i+120, len(tr1))], tr2[lo:min(i+120, len(tr2))])
+	}
+	// Sanity: every line is a JSON object with a seq field.
+	for ln, line := range strings.Split(strings.TrimSuffix(tr1, "\n"), "\n") {
+		if !strings.HasPrefix(line, `{"seq":`) || !strings.HasSuffix(line, "}") {
+			t.Fatalf("trace line %d is malformed: %q", ln, line)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }

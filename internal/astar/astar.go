@@ -11,6 +11,7 @@ import (
 	"container/heap"
 
 	"sadproute/internal/grid"
+	"sadproute/internal/obs"
 )
 
 // StepCost prices a move from one cell to an adjacent cell (planar step or
@@ -48,7 +49,16 @@ type Engine struct {
 	parent []int32
 	cur    int32
 	queue  pq
-	Expand int // node expansions of the last search (for diagnostics)
+	// Per-search statistics, reset by Search. The inner loop maintains them
+	// as plain field increments (no branches) so the cost is identical
+	// whether or not a Recorder is attached.
+	Expand   int // node expansions of the last search
+	Pushes   int // heap pushes of the last search
+	Pops     int // heap pops of the last search
+	HeapPeak int // open-list high-water mark of the last search
+	// Rec, when non-nil, receives the per-search statistics (counters plus
+	// the heap-peak gauge) in one flush at the end of every search.
+	Rec *obs.Recorder
 }
 
 // New creates an engine bound to g.
@@ -103,7 +113,8 @@ func (e *Engine) Search(id int32, sources, targets []grid.Cell, cfg Config) ([]g
 	}
 	e.cur++
 	e.queue = e.queue[:0]
-	e.Expand = 0
+	e.Expand, e.Pushes, e.Pops, e.HeapPeak = 0, 0, 0, 0
+	defer e.flushObs()
 
 	tset := make(map[int]bool, len(targets))
 	for _, t := range targets {
@@ -136,6 +147,10 @@ func (e *Engine) Search(id int32, sources, targets []grid.Cell, cfg Config) ([]g
 		e.dist[i] = gcost
 		e.parent[i] = parent
 		heap.Push(&e.queue, pqItem{idx: int32(i), f: gcost + h(e.cell(i)), g: gcost})
+		e.Pushes++
+		if n := e.queue.Len(); n > e.HeapPeak {
+			e.HeapPeak = n
+		}
 	}
 
 	for _, s := range sources {
@@ -148,6 +163,7 @@ func (e *Engine) Search(id int32, sources, targets []grid.Cell, cfg Config) ([]g
 	var steps = [6]grid.Cell{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}, {L: 1}, {L: -1}}
 	for e.queue.Len() > 0 {
 		it := heap.Pop(&e.queue).(pqItem)
+		e.Pops++
 		i := int(it.idx)
 		if e.stamp[i] == e.cur && e.dist[i] < it.g {
 			continue // stale entry
@@ -186,6 +202,19 @@ func (e *Engine) Search(id int32, sources, targets []grid.Cell, cfg Config) ([]g
 		}
 	}
 	return nil, false
+}
+
+// flushObs reports the last search's statistics to the attached Recorder
+// in one batch — the inner loop stays free of atomic operations.
+func (e *Engine) flushObs() {
+	if e.Rec == nil {
+		return
+	}
+	e.Rec.Inc(obs.CtrAstarSearches)
+	e.Rec.Add(obs.CtrAstarExpanded, int64(e.Expand))
+	e.Rec.Add(obs.CtrAstarPushes, int64(e.Pushes))
+	e.Rec.Add(obs.CtrAstarPops, int64(e.Pops))
+	e.Rec.Max(obs.GaugeAstarHeapPeak, int64(e.HeapPeak))
 }
 
 // trace reconstructs the path ending at index i.

@@ -7,6 +7,7 @@ import (
 	"sadproute/internal/baseline"
 	"sadproute/internal/decomp"
 	"sadproute/internal/netlist"
+	"sadproute/internal/obs"
 	"sadproute/internal/router"
 	"sadproute/internal/rules"
 )
@@ -30,6 +31,11 @@ type Metrics struct {
 	Wirelength     int
 	Vias           int
 	Ripups         int
+
+	// Obs is the observability snapshot of the run: per-stage wall times
+	// plus the router/oracle counters. Only AlgoOurs populates it; baseline
+	// algorithms leave it zero.
+	Obs obs.Snapshot
 }
 
 // Algo identifies one router under comparison.
@@ -68,13 +74,23 @@ func Run(nl *netlist.Netlist, algo Algo, cfg RunConfig) (Metrics, error) {
 		if cfg.RouterOptions != nil {
 			opt = *cfg.RouterOptions
 		}
+		rec := opt.Obs
+		if rec == nil {
+			rec = obs.New()
+			opt.Obs = rec
+		}
+		stopTotal := rec.Span(obs.StageTotal)
 		res := router.Route(nl, cfg.Rules, opt)
 		m.RoutabilityPct = res.Routability()
 		m.CPU = res.CPU
 		m.Wirelength = res.WirelengthCells
 		m.Vias = res.Vias
-		m.Ripups = res.Ripups
+		stopEval := rec.Span(obs.StageEvaluate)
 		fill(&m, res.Layouts(), false)
+		stopEval()
+		stopTotal()
+		m.Obs = rec.Snapshot()
+		m.Ripups = int(m.Obs.Counter(obs.CtrRouteRipups))
 	case AlgoTrimGreedy:
 		out := baseline.TrimGreedy{}.Run(nl, cfg.Rules)
 		fillBaseline(&m, out)

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"sadproute/internal/decomp"
+	"sadproute/internal/obs"
 	"sadproute/internal/ocg"
 	"sadproute/internal/scenario"
 )
@@ -100,6 +101,25 @@ func Optimize(g *ocg.Graph, nets []int) Result {
 // takes infinite cost for the opposite color, so the DP routes flexibility
 // around it.
 func OptimizeLocked(g *ocg.Graph, nets []int, locked map[int]decomp.Color) Result {
+	return OptimizeLockedR(g, nets, locked, nil)
+}
+
+// OptimizeLockedR is OptimizeLocked reporting to an observability recorder:
+// DP runs, infeasible components, and the component-size high-water mark.
+// A nil rec is the un-instrumented fast path.
+func OptimizeLockedR(g *ocg.Graph, nets []int, locked map[int]decomp.Color, rec *obs.Recorder) Result {
+	res := optimizeLocked(g, nets, locked)
+	if rec != nil {
+		rec.Inc(obs.CtrFlipRuns)
+		rec.Max(obs.GaugeFlipComponentPeak, int64(len(nets)))
+		if !res.Feasible {
+			rec.Inc(obs.CtrFlipInfeasible)
+		}
+	}
+	return res
+}
+
+func optimizeLocked(g *ocg.Graph, nets []int, locked map[int]decomp.Color) Result {
 	vcost := func(n int, c decomp.Color) int {
 		if lc, ok := locked[n]; ok && lc != decomp.Unassigned && lc != c {
 			return inf

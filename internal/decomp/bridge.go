@@ -171,6 +171,16 @@ func buildBridges(ly Layout, mats []Mat, ts []tgt, tix *rectIndex, res *Result) 
 			comp.union(k, k) // ensure slot exists; adjacency unite happens next iter
 		}
 	}
+	// Count the surviving mask blobs (distinct components over non-empty
+	// material) for the observability snapshot.
+	comp.grow(len(mats))
+	roots := map[int]bool{}
+	for i := range mats {
+		if !mats[i].Rect.Empty() {
+			roots[comp.find(i)] = true
+		}
+	}
+	res.Blobs = len(roots)
 	return mats
 }
 

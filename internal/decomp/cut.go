@@ -1,5 +1,7 @@
 package decomp
 
+import "sadproute/internal/obs"
+
 // DecomposeCut runs the SADP cut-process decomposition oracle on one layer:
 //
 //  1. core-colored targets become core-mask material;
@@ -13,7 +15,14 @@ package decomp
 //
 // The returned Result always exists; decomposition failures surface as
 // Violations, hard overlays and conflicts rather than errors.
-func DecomposeCut(ly Layout) *Result {
+func DecomposeCut(ly Layout) *Result { return DecomposeCutR(ly, nil) }
+
+// DecomposeCutR is DecomposeCut reporting to an observability recorder
+// (decomposition count, blob/bridge/assist material counts, overlay
+// fragment count, and StageDecompose wall time). A nil rec is the
+// un-instrumented fast path.
+func DecomposeCutR(ly Layout, rec *obs.Recorder) *Result {
+	defer rec.Span(obs.StageDecompose)()
 	res := &Result{}
 	ts, tix := collectTargets(ly, res)
 
@@ -36,16 +45,38 @@ func DecomposeCut(ly Layout) *Result {
 	}
 	res.Materials = mats
 	res.SideOverlayUnits = float64(res.SideOverlayNM) / float64(ly.Rules.WLine) //lint:allow float reporting-only: the paper quotes overlay in fractional w_line units
+	if rec != nil {
+		rec.Inc(obs.CtrDecompositions)
+		rec.Add(obs.CtrDecompBlobs, int64(res.Blobs))
+		var bridges, assists int64
+		for _, m := range mats {
+			switch m.Kind {
+			case MatBridge:
+				bridges++
+			case MatAssist:
+				assists++
+			}
+		}
+		rec.Add(obs.CtrDecompBridges, bridges)
+		rec.Add(obs.CtrDecompAssists, assists)
+		rec.Add(obs.CtrDecompOverlayFrags, int64(len(res.Overlays)))
+	}
 	return res
 }
 
 // DecomposeLayers runs DecomposeCut on every layer and merges the results
 // into per-layer slices plus an aggregate.
 func DecomposeLayers(layers []Layout) ([]*Result, Totals) {
+	return DecomposeLayersR(layers, nil)
+}
+
+// DecomposeLayersR is DecomposeLayers reporting to an observability
+// recorder (see DecomposeCutR).
+func DecomposeLayersR(layers []Layout, rec *obs.Recorder) ([]*Result, Totals) {
 	out := make([]*Result, len(layers))
 	var tot Totals
 	for i, ly := range layers {
-		out[i] = DecomposeCut(ly)
+		out[i] = DecomposeCutR(ly, rec)
 		tot.Accumulate(out[i])
 	}
 	return out, tot

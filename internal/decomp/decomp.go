@@ -172,6 +172,9 @@ type Result struct {
 	// Materials is the full synthesized core-mask material list (targets,
 	// assists, bridges) for rendering and inspection.
 	Materials []Mat
+	// Blobs is the number of connected core-mask material components after
+	// merging (observability: how fragmented the core mask ended up).
+	Blobs int
 }
 
 func (r *Result) addViolation(format string, args ...any) {

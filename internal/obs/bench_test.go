@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkCounterDisabled measures the nil-sink fast path: the cost an
+// instrumented hot loop pays when observability is off. It must stay at a
+// branch or two (sub-nanosecond on current hardware), keeping instrumented
+// code within the ISSUE's 2% overhead budget.
+func BenchmarkCounterDisabled(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Inc(CtrAstarExpanded)
+		r.Add(CtrAstarPushes, 3)
+		r.Max(GaugeAstarHeapPeak, int64(i))
+	}
+}
+
+// BenchmarkCounterEnabled measures the live atomic path.
+func BenchmarkCounterEnabled(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Inc(CtrAstarExpanded)
+		r.Add(CtrAstarPushes, 3)
+		r.Max(GaugeAstarHeapPeak, int64(i))
+	}
+}
+
+// BenchmarkSpanDisabled measures a stage span on the nil path.
+func BenchmarkSpanDisabled(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Span(StageRoute)()
+	}
+}
+
+// BenchmarkTraceEmit measures one event end to end into io.Discard.
+func BenchmarkTraceEmit(b *testing.B) {
+	r := New()
+	r.SetTrace(io.Discard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Trace("route_attempt", I("net", i), I("attempt", 0))
+	}
+}
+
+// BenchmarkTraceDisabledGuarded measures the recommended guarded call: a
+// Tracing() check means no field slice is ever built when tracing is off.
+func BenchmarkTraceDisabledGuarded(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if r.Tracing() {
+			r.Trace("route_attempt", I("net", i))
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Field is one key/value pair of a trace event. Construct with I, I64 or S.
+type Field struct {
+	Key string
+	num int64
+	str string
+	isS bool
+}
+
+// I builds an integer field.
+func I(key string, v int) Field { return Field{Key: key, num: int64(v)} }
+
+// I64 builds an integer field from an int64.
+func I64(key string, v int64) Field { return Field{Key: key, num: v} }
+
+// S builds a string field.
+func S(key, v string) Field { return Field{Key: key, str: v, isS: true} }
+
+// TraceSink serializes trace events as JSON Lines. Each event is one
+// object:
+//
+//	{"seq":17,"ev":"route_attempt","net":12,"attempt":0}
+//
+// "seq" is a monotonic sequence number starting at 1 — deliberately not a
+// timestamp, so traces of a deterministic run are byte-identical across
+// runs and machines. Keys are emitted in call order after seq and ev.
+// The sink is safe for concurrent emitters; the first write error is
+// retained (and later emits dropped), surfaced via Err.
+type TraceSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	seq int64
+	err error
+}
+
+// NewTraceSink wraps w. The caller retains ownership of w (closing files,
+// flushing buffers).
+func NewTraceSink(w io.Writer) *TraceSink {
+	return &TraceSink{w: w, buf: make([]byte, 0, 256)}
+}
+
+// Err returns the first write error, if any.
+func (s *TraceSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Seq returns the number of events emitted so far.
+func (s *TraceSink) Seq() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// emit writes one event line. Event names and field keys are compile-time
+// identifiers in this repository ([a-z0-9_.]), written verbatim; string
+// values are quoted with full JSON escaping.
+func (s *TraceSink) emit(ev string, fields []Field) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.seq++
+	b := s.buf[:0]
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendInt(b, s.seq, 10)
+	b = append(b, `,"ev":`...)
+	b = strconv.AppendQuote(b, ev)
+	for _, f := range fields {
+		b = append(b, ',', '"')
+		b = append(b, f.Key...)
+		b = append(b, '"', ':')
+		if f.isS {
+			b = strconv.AppendQuote(b, f.str)
+		} else {
+			b = strconv.AppendInt(b, f.num, 10)
+		}
+	}
+	b = append(b, '}', '\n')
+	s.buf = b
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"sadproute/internal/bench"
+	"sadproute/internal/obs"
 )
 
 // Table renders rows of per-benchmark metrics grouped by algorithm, in the
@@ -82,6 +83,46 @@ func compRow(rows []bench.Metrics, ref bench.Algo) string {
 		}
 		fmt.Fprintf(&b, "  %-14s rout x%.4f  overlay x%.3f  CPU x%.3f  totalC %d\n",
 			name, a.rout/float64(a.n), a.overlay/float64(a.n), a.cpu/float64(a.n), a.conf)
+	}
+	return b.String()
+}
+
+// StageTable renders the per-stage wall-time breakdown recorded by the
+// observability layer for each benchmark row (AlgoOurs runs; baseline rows,
+// which carry a zero snapshot, are skipped), followed by the headline
+// search-effort counters.
+func StageTable(title string, rows []bench.Metrics) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-8s %8s %9s %9s %9s %9s %9s %9s %9s\n",
+		"Circuit", "#Net", "route", "window", "flip", "repair", "decomp", "eval", "total")
+	for _, m := range rows {
+		s := m.Obs
+		if s.Stage(obs.StageTotal) == 0 && s.Counter(obs.CtrRouteAttempts) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %8d %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+			m.Bench, m.Nets,
+			s.Stage(obs.StageRoute).Seconds(),
+			s.Stage(obs.StageWindowCheck).Seconds(),
+			s.Stage(obs.StageColorFlip).Seconds(),
+			s.Stage(obs.StageFinalRepair).Seconds(),
+			s.Stage(obs.StageDecompose).Seconds(),
+			s.Stage(obs.StageEvaluate).Seconds(),
+			s.Stage(obs.StageTotal).Seconds())
+	}
+	fmt.Fprintf(&b, "%-8s %8s %12s %12s %12s %12s %12s\n",
+		"Circuit", "#Net", "attempts", "ripups", "A*nodes", "decomps", "flipruns")
+	for _, m := range rows {
+		s := m.Obs
+		if s.Stage(obs.StageTotal) == 0 && s.Counter(obs.CtrRouteAttempts) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %8d %12d %12d %12d %12d %12d\n",
+			m.Bench, m.Nets,
+			s.Counter(obs.CtrRouteAttempts), s.Counter(obs.CtrRouteRipups),
+			s.Counter(obs.CtrAstarExpanded), s.Counter(obs.CtrDecompositions),
+			s.Counter(obs.CtrFlipRuns))
 	}
 	return b.String()
 }

@@ -1,7 +1,6 @@
 package router
 
 import (
-	"fmt"
 	"os"
 	"sort"
 
@@ -10,6 +9,7 @@ import (
 	"sadproute/internal/fragstore"
 	"sadproute/internal/geom"
 	"sadproute/internal/grid"
+	"sadproute/internal/obs"
 )
 
 // debugWindowEnv is the documented fallback for Options.DebugWindow (see
@@ -31,6 +31,7 @@ func (st *state) windowResolve(id int) (bad bool, hot []grid.Cell) {
 		if len(mine) == 0 {
 			continue
 		}
+		st.rec.Inc(obs.CtrWindowChecks)
 		var bbox geom.Rect
 		for _, r := range mine {
 			bbox = bbox.Union(r)
@@ -46,13 +47,17 @@ func (st *state) windowResolve(id int) (bad bool, hot []grid.Cell) {
 		sort.Ints(ids)
 
 		// Baseline: the window without the new net.
-		base := decomp.DecomposeCut(st.windowLayout(l, ids, id))
+		base := decomp.DecomposeCutR(st.windowLayout(l, ids, id), st.rec)
 		baseBad := windowBadness(base)
 
 		// Current coloring.
-		cur := decomp.DecomposeCut(st.windowLayout(l, ids, -1))
+		cur := decomp.DecomposeCutR(st.windowLayout(l, ids, -1), st.rec)
 		curBad := windowBadness(cur)
 		if curBad <= baseBad {
+			if st.rec.Tracing() {
+				st.rec.Trace("window_check", obs.I("net", id), obs.I("layer", l),
+					obs.I("base", baseBad), obs.I("cur", curBad), obs.S("outcome", "clean"))
+			}
 			continue
 		}
 
@@ -67,23 +72,30 @@ func (st *state) windowResolve(id int) (bad bool, hot []grid.Cell) {
 		resolved := false
 		for _, forced := range [2]decomp.Color{st.colors[l][id], st.colors[l][id].Flip()} {
 			st.locks[l][id] = forced
-			r := colorflip.OptimizeLocked(st.ocgs[l], comp, st.locks[l])
+			r := colorflip.OptimizeLockedR(st.ocgs[l], comp, st.locks[l], st.rec)
 			if !r.Feasible {
 				continue
 			}
 			for n, col := range r.Colors {
 				st.colors[l][n] = col
 			}
-			res := decomp.DecomposeCut(st.windowLayout(l, ids, -1))
+			res := decomp.DecomposeCutR(st.windowLayout(l, ids, -1), st.rec)
 			if windowBadness(res) <= baseBad {
 				resolved = true
 				break
 			}
+			st.rec.Inc(obs.CtrFlipsRejected)
 			for n, col := range saved {
 				st.colors[l][n] = col
 			}
 		}
 		if resolved {
+			st.rec.Inc(obs.CtrWindowResolved)
+			st.rec.Inc(obs.CtrFlipsApplied)
+			if st.rec.Tracing() {
+				st.rec.Trace("window_check", obs.I("net", id), obs.I("layer", l),
+					obs.I("base", baseBad), obs.I("cur", curBad), obs.S("outcome", "resolved"))
+			}
 			continue
 		}
 		// No coloring clears the window: restore and rip up.
@@ -95,8 +107,13 @@ func (st *state) windowResolve(id int) (bad bool, hot []grid.Cell) {
 		for n, col := range saved {
 			st.colors[l][n] = col
 		}
+		st.rec.Inc(obs.CtrWindowFailed)
+		if st.rec.Tracing() {
+			st.rec.Trace("window_check", obs.I("net", id), obs.I("layer", l),
+				obs.I("base", baseBad), obs.I("cur", curBad), obs.S("outcome", "ripup"))
+		}
 		if st.opt.DebugWindow || debugWindowEnv {
-			fmt.Fprintf(os.Stderr, "WIN net=%d l=%d base=%d cur=%d comp=%d\n",
+			st.rec.Debugf("WIN net=%d l=%d base=%d cur=%d comp=%d\n",
 				id, l, baseBad, curBad, len(comp))
 		}
 		hot = append(hot, st.conflictCells(cur, l)...)
@@ -165,6 +182,10 @@ func (st *state) repairConflicts() {
 	defer func() { st.inRepair = false }()
 	for pass := 0; pass < 10; pass++ {
 		offenders := st.offenders()
+		st.rec.Inc(obs.CtrRepairPasses)
+		if st.rec.Tracing() {
+			st.rec.Trace("repair_pass", obs.I("pass", pass), obs.I("offenders", len(offenders)))
+		}
 		if len(offenders) == 0 {
 			return
 		}
@@ -175,6 +196,10 @@ func (st *state) repairConflicts() {
 			path := st.res.Paths[id]
 			st.ripup(id)
 			st.res.Routed--
+			st.rec.Inc(obs.CtrRepairRips)
+			if st.rec.Tracing() {
+				st.rec.Trace("ripup", obs.I("net", id), obs.S("cause", "repair"))
+			}
 			for _, c := range path {
 				st.pen[c] += 6 * st.opt.Alpha
 			}
@@ -191,6 +216,9 @@ func (st *state) repairConflicts() {
 		st.ripup(id)
 		st.res.Routed--
 		st.res.Failed++
+		if st.rec.Tracing() {
+			st.rec.Trace("route_fail", obs.I("net", id), obs.S("reason", "repair_drop"))
+		}
 	}
 }
 
@@ -199,7 +227,7 @@ func (st *state) repairConflicts() {
 func (st *state) offenders() []int {
 	bad := map[int]bool{}
 	for _, ly := range st.res.Layouts() {
-		res := decomp.DecomposeCut(ly)
+		res := decomp.DecomposeCutR(ly, st.rec)
 		for _, cf := range res.Conflicts {
 			bad[ly.Pats[cf.Pat].Net] = true
 		}

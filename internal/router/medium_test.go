@@ -5,6 +5,7 @@ import (
 
 	"sadproute/internal/bench"
 	"sadproute/internal/decomp"
+	"sadproute/internal/obs"
 	"sadproute/internal/router"
 	"sadproute/internal/rules"
 )
@@ -16,10 +17,14 @@ func TestMediumInstanceGuarantees(t *testing.T) {
 		t.Skip("medium instance")
 	}
 	nl := bench.Generate(bench.Spec{Name: "d", Nets: 300, Tracks: 80, Layers: 3, Seed: 7, PinCandidates: 1, AvgHPWL: 8, Blockages: 2})
-	res := router.Route(nl, rules.Node10nm(), router.Defaults())
+	opt := router.Defaults()
+	opt.Obs = obs.New()
+	res := router.Route(nl, rules.Node10nm(), opt)
 	_, tot := decomp.DecomposeLayers(res.Layouts())
+	snap := opt.Obs.Snapshot()
 	t.Logf("routed=%.1f%% rip=%d odd=%d inf=%d win=%d nopath=%d conf=%d hard=%d SO=%.0fu cpu=%v",
-		res.Routability(), res.Ripups, res.RipOddCycle, res.RipInfeasible, res.RipWindow, res.NoPath,
+		res.Routability(), snap.Counter(obs.CtrRouteRipups), snap.Counter(obs.CtrRipOddCycle),
+		snap.Counter(obs.CtrRipInfeasible), snap.Counter(obs.CtrRipWindow), snap.Counter(obs.CtrNoPath),
 		tot.Conflicts, tot.HardOverlays, tot.SideOverlayUnits, res.CPU)
 	if tot.Conflicts != 0 || tot.HardOverlays != 0 || tot.Violations != 0 {
 		t.Errorf("guarantees violated: conf=%d hard=%d viol=%d", tot.Conflicts, tot.HardOverlays, tot.Violations)

@@ -17,6 +17,7 @@ import (
 	"sadproute/internal/geom"
 	"sadproute/internal/grid"
 	"sadproute/internal/netlist"
+	"sadproute/internal/obs"
 	"sadproute/internal/ocg"
 	"sadproute/internal/rules"
 	"sadproute/internal/scenario"
@@ -53,9 +54,15 @@ type Options struct {
 	// MaxExpand bounds A* node expansions per attempt (0 = unbounded).
 	MaxExpand int
 	// DebugWindow logs each failed window-resolve attempt (net, layer,
-	// badness before/after, component size) to stderr. The SADP_DEBUG_WINDOW
-	// environment variable, documented in the README, turns it on as well.
+	// badness before/after, component size) through the observability
+	// recorder's debug writer (standard error unless redirected via
+	// Obs.SetDebug). The SADP_DEBUG_WINDOW environment variable, documented
+	// in the README, turns it on as well.
 	DebugWindow bool
+	// Obs receives counters, stage timings and (when a trace sink is
+	// attached) structured trace events. Nil disables observability at a
+	// cost of one predicted branch per record point.
+	Obs *obs.Recorder
 }
 
 // Defaults returns the paper's parameter settings.
@@ -74,25 +81,19 @@ func Defaults() Options {
 	}
 }
 
-// Result is a completed routing run.
+// Result is a completed routing run. Diagnostics that used to live here
+// (rip-up counts by cause, flips, blocker rips) are now counters on the
+// Options.Obs recorder — pass one and read its Snapshot.
 type Result struct {
 	Routed, Failed  int
 	Paths           map[int][]grid.Cell
 	Colors          []map[int]decomp.Color // per layer: net -> color
 	WirelengthCells int
 	Vias            int
-	Ripups          int
-	Flips           int
-	// Rip-up causes (diagnostics).
-	RipOddCycle, RipInfeasible, RipWindow int
-	// NoPath counts nets that failed because A* found no path at all.
-	NoPath int
-	// BlockerRips counts nets ripped up to free resources for another net.
-	BlockerRips int
-	CPU         time.Duration
-	Grid        *grid.Grid
-	frags       []*fragstore.Store
-	nl          *netlist.Netlist
+	CPU             time.Duration
+	Grid            *grid.Grid
+	frags           []*fragstore.Store
+	nl              *netlist.Netlist
 }
 
 // Routability returns the fraction of nets routed, in percent.
@@ -144,6 +145,7 @@ type state struct {
 	pen    map[grid.Cell]int      // rip-up cost inflation
 	opt    Options
 	res    *Result
+	rec    *obs.Recorder // nil-safe observability recorder
 	// inRepair enables the window conflict check during the final repair
 	// passes regardless of Options.WindowCheck.
 	inRepair bool
@@ -156,14 +158,23 @@ type state struct {
 // Route runs the overlay-aware detailed router on a netlist.
 func Route(nl *netlist.Netlist, ds rules.Set, opt Options) *Result {
 	start := time.Now()
+	rec := opt.Obs
+	if opt.DebugWindow || debugWindowEnv {
+		// Preserve the DebugWindow contract (diagnostics reach stderr even
+		// with no recorder configured) by promoting to a debug-equipped
+		// recorder; obs owns the only sanctioned os.Stderr reference.
+		rec = obs.EnsureDebug(rec)
+	}
 	st := &state{
 		nl:  nl,
 		ds:  ds,
 		g:   nl.BuildGrid(ds),
 		opt: opt,
 		pen: make(map[grid.Cell]int),
+		rec: rec,
 	}
 	st.eng = astar.New(st.g)
+	st.eng.Rec = rec
 	st.ocgs = make([]*ocg.Graph, nl.Layers)
 	st.frags = make([]*fragstore.Store, nl.Layers)
 	st.colors = make([]map[int]decomp.Color, nl.Layers)
@@ -192,6 +203,7 @@ func Route(nl *netlist.Netlist, ds rules.Set, opt Options) *Result {
 	})
 
 	st.blockerBudget = len(nl.Nets) / 2
+	stopRoute := rec.Span(obs.StageRoute)
 	for _, id := range order {
 		st.routeNet(id)
 	}
@@ -204,14 +216,19 @@ func Route(nl *netlist.Netlist, ds rules.Set, opt Options) *Result {
 		}
 		st.routeNet(id)
 	}
+	stopRoute()
 
 	// Final full-layout color flipping (line 16 of Fig. 19).
 	if opt.ColorFlip {
+		stop := rec.Span(obs.StageColorFlip)
 		st.flipAll()
+		stop()
 	}
 	// Final conflict repair against the oracle.
 	if opt.FinalRepair {
+		stop := rec.Span(obs.StageFinalRepair)
 		st.repairConflicts()
+		stop()
 	}
 
 	st.res.CPU = time.Since(start)
@@ -223,6 +240,10 @@ func (st *state) routeNet(id int) {
 	n := st.nl.Nets[id]
 	bonusUsed := false
 	for attempt := 0; ; attempt++ {
+		st.rec.Inc(obs.CtrRouteAttempts)
+		if st.rec.Tracing() {
+			st.rec.Trace("route_attempt", obs.I("net", id), obs.I("attempt", attempt))
+		}
 		path, ok := st.search(id, n)
 		if !ok {
 			// Resource rip-up: discover the nets blocking every corridor,
@@ -231,26 +252,29 @@ func (st *state) routeNet(id int) {
 				if blockers := st.findBlockers(id, n); len(blockers) > 0 && len(blockers) <= 4 {
 					st.blockerBudget -= len(blockers)
 					for _, b := range blockers {
-						st.ripup(b)
-						st.res.Routed--
-						st.res.BlockerRips++
-						st.pending = append(st.pending, b)
+						st.ripupBlocker(b, id)
 					}
 					continue
 				}
 			}
 			st.res.Failed++
-			st.res.NoPath++
+			st.rec.Inc(obs.CtrNoPath)
+			if st.rec.Tracing() {
+				st.rec.Trace("route_fail", obs.I("net", id), obs.S("reason", "no_path"))
+			}
 			return
 		}
 		st.commit(id, path)
 		odd, infeasible, hot := st.updateGraphs(id)
 		bad := odd || infeasible
+		cause := ""
 		if odd {
-			st.res.RipOddCycle++
+			st.rec.Inc(obs.CtrRipOddCycle)
+			cause = "odd_cycle"
 		}
 		if infeasible {
-			st.res.RipInfeasible++
+			st.rec.Inc(obs.CtrRipInfeasible)
+			cause = "infeasible"
 		}
 		if !bad {
 			// Color first (pseudo-coloring plus threshold flipping), then
@@ -261,22 +285,33 @@ func (st *state) routeNet(id int) {
 			if st.opt.WindowCheck || st.inRepair {
 				var wbad bool
 				var whot []grid.Cell
+				stop := st.rec.Span(obs.StageWindowCheck)
 				wbad, whot = st.windowResolve(id)
+				stop()
 				if wbad {
 					bad = true
+					cause = "window"
 					hot = append(hot, whot...)
-					st.res.RipWindow++
+					st.rec.Inc(obs.CtrRipWindow)
 				}
 			}
 		}
 		if !bad {
 			st.res.Routed++
+			if st.rec.Tracing() {
+				wl, vias := pathLen(path)
+				st.rec.Trace("route_ok", obs.I("net", id), obs.I("attempt", attempt),
+					obs.I("wl", wl), obs.I("vias", vias))
+			}
 			return
 		}
 		// Rip up and reroute with inflated costs along the failed path and
 		// sharply inflated costs at the offending cells (lines 7-9).
 		st.ripup(id)
-		st.res.Ripups++
+		st.rec.Inc(obs.CtrRouteRipups)
+		if st.rec.Tracing() {
+			st.rec.Trace("ripup", obs.I("net", id), obs.S("cause", cause))
+		}
 		if attempt >= st.opt.MaxRipup {
 			// Last resort: rip the neighbors participating in the conflict
 			// (they reroute later) and grant one bonus attempt.
@@ -285,16 +320,16 @@ func (st *state) routeNet(id int) {
 					bonusUsed = true
 					st.blockerBudget -= len(nbrs)
 					for _, b := range nbrs {
-						st.ripup(b)
-						st.res.Routed--
-						st.res.BlockerRips++
-						st.pending = append(st.pending, b)
+						st.ripupBlocker(b, id)
 					}
 					attempt--
 					continue
 				}
 			}
 			st.res.Failed++
+			if st.rec.Tracing() {
+				st.rec.Trace("route_fail", obs.I("net", id), obs.S("reason", "ripup_budget"))
+			}
 			return
 		}
 		for _, c := range path {
@@ -304,6 +339,18 @@ func (st *state) routeNet(id int) {
 			st.pen[c] += 16 * st.opt.Alpha * astar.Scale
 		}
 	}
+}
+
+// ripupBlocker rips an already-routed net to free resources for net id and
+// queues it for rerouting.
+func (st *state) ripupBlocker(b, id int) {
+	st.ripup(b)
+	st.res.Routed--
+	st.rec.Inc(obs.CtrBlockerRips)
+	if st.rec.Tracing() {
+		st.rec.Trace("ripup", obs.I("net", b), obs.S("cause", "blocker"), obs.I("for", id))
+	}
+	st.pending = append(st.pending, b)
 }
 
 // search runs overlay-aware A* (eq. (5)).
@@ -508,13 +555,28 @@ func (st *state) colorNewNet(id int) {
 		if !st.opt.ColorFlip {
 			continue
 		}
-		if st.inducedOverlay(l, id) > st.opt.FlipThresholdNM {
+		if induced := st.inducedOverlay(l, id); induced > st.opt.FlipThresholdNM {
 			nets := st.ocgs[l].Component(id)
-			r := colorflip.OptimizeLocked(st.ocgs[l], nets, st.locks[l])
+			r := colorflip.OptimizeLockedR(st.ocgs[l], nets, st.locks[l], st.rec)
 			for n, col := range r.Colors {
 				st.colors[l][n] = col
 			}
-			st.res.Flips++
+			if r.Feasible {
+				st.rec.Inc(obs.CtrFlipsApplied)
+			} else {
+				st.rec.Inc(obs.CtrFlipsRejected)
+			}
+			if st.rec.Tracing() {
+				feasible := 0
+				if r.Feasible {
+					feasible = 1
+				}
+				st.rec.Trace("color_flip", obs.I("net", id), obs.I("layer", l),
+					obs.I("comp", len(nets)), obs.I("overlay_nm", induced),
+					obs.I("feasible", feasible))
+				st.rec.Trace("overlay_delta", obs.I("net", id), obs.I("layer", l),
+					obs.I("before_nm", induced), obs.I("after_nm", st.inducedOverlay(l, id)))
+			}
 		}
 	}
 }
@@ -553,7 +615,7 @@ func (st *state) flipAll() {
 			for _, v := range comp {
 				visited[v] = true
 			}
-			r := colorflip.OptimizeLocked(st.ocgs[l], comp, st.locks[l])
+			r := colorflip.OptimizeLockedR(st.ocgs[l], comp, st.locks[l], st.rec)
 			for v, col := range r.Colors {
 				st.colors[l][v] = col
 			}

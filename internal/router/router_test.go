@@ -7,6 +7,7 @@ import (
 	"sadproute/internal/decomp"
 	"sadproute/internal/grid"
 	"sadproute/internal/netlist"
+	"sadproute/internal/obs"
 	"sadproute/internal/router"
 	"sadproute/internal/rules"
 )
@@ -26,7 +27,9 @@ func TestRouteSmokeSmall(t *testing.T) {
 	if err := nl.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res := router.Route(nl, rules.Node10nm(), router.Defaults())
+	opt := router.Defaults()
+	opt.Obs = obs.New()
+	res := router.Route(nl, rules.Node10nm(), opt)
 	if res.Routed == 0 {
 		t.Fatal("routed no nets")
 	}
@@ -43,9 +46,16 @@ func TestRouteSmokeSmall(t *testing.T) {
 	if tot.Violations != 0 {
 		t.Errorf("violations = %d, want 0", tot.Violations)
 	}
+	snap := opt.Obs.Snapshot()
+	if snap.Counter(obs.CtrRouteAttempts) == 0 {
+		t.Error("obs recorded no route attempts")
+	}
+	if snap.Counter(obs.CtrAstarSearches) == 0 {
+		t.Error("obs recorded no A* searches")
+	}
 	t.Logf("routed %d/%d, WL=%d vias=%d ripups=%d overlay=%.1fu CPU=%v",
 		res.Routed, res.Routed+res.Failed, res.WirelengthCells, res.Vias,
-		res.Ripups, tot.SideOverlayUnits, res.CPU)
+		snap.Counter(obs.CtrRouteRipups), tot.SideOverlayUnits, res.CPU)
 }
 
 // TestRouteMultiPin exercises multiple pin candidate locations.

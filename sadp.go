@@ -27,6 +27,7 @@ import (
 	"sadproute/internal/geom"
 	"sadproute/internal/grid"
 	"sadproute/internal/netlist"
+	"sadproute/internal/obs"
 	"sadproute/internal/router"
 	"sadproute/internal/rules"
 )
@@ -63,6 +64,12 @@ type (
 	Cell = grid.Cell
 	// Blockage is a rectangle of forbidden cells on one layer.
 	Blockage = netlist.Blockage
+	// Recorder collects router metrics and trace events (attach one via
+	// Options.Obs; a nil Recorder is a safe no-op).
+	Recorder = obs.Recorder
+	// ObsSnapshot is a point-in-time copy of a Recorder's counters, gauges
+	// and per-stage wall times.
+	ObsSnapshot = obs.Snapshot
 )
 
 // Mask assignments.
@@ -70,6 +77,11 @@ const (
 	CoreMask   = decomp.Core
 	SecondMask = decomp.Second
 )
+
+// NewRecorder returns an enabled observability recorder. Attach it through
+// Options.Obs, then read Snapshot() after routing; call SetTrace to stream
+// deterministic JSONL trace events.
+func NewRecorder() *Recorder { return obs.New() }
 
 // Node10nm returns the paper's 10 nm-node design rules.
 func Node10nm() Rules { return rules.Node10nm() }
