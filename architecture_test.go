@@ -1,0 +1,44 @@
+package sadp
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestArchitectureCoversPackages is the doc-freshness gate: every
+// internal/ package must appear in ARCHITECTURE.md's inventory, so adding
+// a package without documenting its place in the system fails CI.
+func TestArchitectureCoversPackages(t *testing.T) {
+	arch, err := os.ReadFile("ARCHITECTURE.md")
+	if err != nil {
+		t.Fatalf("ARCHITECTURE.md must exist at the repo root: %v", err)
+	}
+	entries, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(arch)
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if want := "internal/" + e.Name(); !strings.Contains(text, want) {
+			t.Errorf("ARCHITECTURE.md does not mention %s — update the package inventory", want)
+		}
+	}
+	// The inverse direction, cheaply: no inventory row for a package that
+	// was deleted or renamed.
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "| `internal/") {
+			continue
+		}
+		name := strings.TrimPrefix(line, "| `internal/")
+		if i := strings.IndexByte(name, '`'); i >= 0 {
+			name = name[:i]
+		}
+		if _, err := os.Stat("internal/" + name); err != nil {
+			t.Errorf("ARCHITECTURE.md lists internal/%s but the package does not exist", name)
+		}
+	}
+}

@@ -11,7 +11,15 @@
 //	experiments -which stages                 # per-stage timing breakdown
 //
 // -scale small shrinks the benchmark sizes for quick runs; -scale paper
-// uses the paper's 1.5k-28k-net sizes.
+// uses the paper's 1.5k-28k-net sizes; -scale tiny is the CI smoke size.
+//
+// Routing-heavy experiments (table3, table4, fig20, stages) fan their
+// (benchmark × algorithm) cells out across -jobs workers (default
+// runtime.NumCPU(); -jobs 1 is the historical serial behavior). Results
+// merge in canonical order, so the emitted tables are identical for any
+// -jobs value — only the CPU columns carry wall-clock noise, as between
+// any two runs. -tracedir writes one deterministic JSONL trace per
+// ours-cell.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -40,9 +49,11 @@ func run(args []string, stdout io.Writer) error {
 	fs.SetOutput(stdout)
 	var (
 		which  = fs.String("which", "table2", "comma list: table2,table3,table4,fig20,fig21,fig22,stages,appendix,ablation,all")
-		scale  = fs.String("scale", "small", "benchmark scale: small | medium | paper")
+		scale  = fs.String("scale", "small", "benchmark scale: tiny | small | medium | paper")
 		outDir = fs.String("out", "results", "output directory")
 		budget = fs.Duration("budget", 30*time.Minute, "per-run time budget for the exhaustive baseline")
+		jobs   = fs.Int("jobs", runtime.NumCPU(), "parallel (benchmark x algorithm) cells; 1 = serial")
+		trDir  = fs.String("tracedir", "", "write one JSONL trace per ours-cell into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -53,6 +64,11 @@ func run(args []string, stdout io.Writer) error {
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
+	}
+	if *trDir != "" {
+		if err := os.MkdirAll(*trDir, 0o755); err != nil {
+			return err
+		}
 	}
 	sel := map[string]bool{}
 	for _, w := range strings.Split(*which, ",") {
@@ -78,16 +94,17 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
+	h := harness{jobs: *jobs, budget: *budget, traceDir: *trDir}
 	experiments := []struct {
 		name string
 		fn   func() (string, error)
 	}{
 		{"table2", func() (string, error) { return table2(ds), nil }},
 		{"appendix", func() (string, error) { return appendix(ds), nil }},
-		{"table3", func() (string, error) { return table3(ds, *scale) }},
-		{"table4", func() (string, error) { return table4(ds, *scale, *budget) }},
-		{"fig20", func() (string, error) { return fig20(ds, *scale) }},
-		{"stages", func() (string, error) { return stages(ds, *scale) }},
+		{"table3", func() (string, error) { return table3(ds, *scale, h) }},
+		{"table4", func() (string, error) { return table4(ds, *scale, h) }},
+		{"fig20", func() (string, error) { return fig20(ds, *scale, h) }},
+		{"stages", func() (string, error) { return stages(ds, *scale, h) }},
 		{"fig21", func() (string, error) { return fig21(ds, *outDir) }},
 		{"fig22", func() (string, error) { return fig22(ds, *outDir) }},
 		{"ablation", func() (string, error) { return ablation(ds, *scale) }},
@@ -108,6 +125,17 @@ func specsFor(scale string, fixedPins bool) []bench.Spec {
 		return specs
 	case "medium":
 		return specs[:3]
+	case "tiny": // CI smoke: seconds even under -race
+		out := make([]bench.Spec, 0, 2)
+		for _, s := range specs[:2] {
+			s.Nets /= 20
+			s.Tracks /= 4
+			s.AvgHPWL = 4
+			s.Blockages /= 20
+			s.Name = fmt.Sprintf("%s-t", s.Name)
+			out = append(out, s)
+		}
+		return out
 	default: // small: shrink everything
 		out := make([]bench.Spec, 0, 3)
 		for i, s := range specs[:3] {

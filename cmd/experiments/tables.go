@@ -2,6 +2,9 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -12,6 +15,35 @@ import (
 	"sadproute/internal/rules"
 	"sadproute/internal/scenario"
 )
+
+// harness carries the scheduling knobs shared by the routing-heavy
+// experiments and builds one bench.Harness per (specs × algos) matrix.
+type harness struct {
+	jobs     int
+	budget   time.Duration
+	traceDir string
+}
+
+// runCells routes every (spec × algo) cell across the worker pool and
+// returns metrics in canonical (spec-major, algo-minor) order.
+func (h harness) runCells(ds rules.Set, specs []bench.Spec, algos []bench.Algo) ([]bench.Metrics, error) {
+	cells := make([]bench.Cell, 0, len(specs)*len(algos))
+	for _, sp := range specs {
+		for _, a := range algos {
+			cells = append(cells, bench.Cell{Spec: sp, Algo: a})
+		}
+	}
+	bh := bench.Harness{
+		Jobs: h.jobs,
+		Cfg:  bench.RunConfig{Rules: ds, Budget: h.budget},
+	}
+	if h.traceDir != "" {
+		bh.TraceWriter = func(c bench.Cell) (io.WriteCloser, error) {
+			return os.Create(filepath.Join(h.traceDir, c.String()+".jsonl"))
+		}
+	}
+	return bh.Run(cells)
+}
 
 // table2 regenerates the paper's Table II: for each potential overlay
 // scenario, the color rule, the minimum side overlay under the rule, and
@@ -131,52 +163,40 @@ func cellNM(r geom.Rect, ds rules.Set) geom.Rect {
 
 // table3 reproduces Table III: fixed-pin benchmarks, ours vs the trim
 // baseline [11] and the no-merge cut baseline [16].
-func table3(ds rules.Set, scale string) (string, error) {
-	cfg := bench.RunConfig{Rules: ds}
-	var rows []bench.Metrics
-	for _, sp := range specsFor(scale, true) {
-		for _, algo := range []bench.Algo{bench.AlgoOurs, bench.AlgoTrimGreedy, bench.AlgoCutNoMerge} {
-			m, err := bench.Run(bench.Generate(sp), algo, cfg)
-			if err != nil {
-				return "", err
-			}
-			rows = append(rows, m)
-		}
+func table3(ds rules.Set, scale string, h harness) (string, error) {
+	rows, err := h.runCells(ds, specsFor(scale, true),
+		[]bench.Algo{bench.AlgoOurs, bench.AlgoTrimGreedy, bench.AlgoCutNoMerge})
+	if err != nil {
+		return "", err
 	}
 	return report.Table("Table III — fixed pin locations (#C = conflicts + hard overlays)", rows, bench.AlgoOurs), nil
 }
 
 // table4 reproduces Table IV: multiple pin candidate locations, ours vs
 // the exhaustive multi-candidate baseline [10].
-func table4(ds rules.Set, scale string, budget time.Duration) (string, error) {
-	cfg := bench.RunConfig{Rules: ds, Budget: budget}
-	var rows []bench.Metrics
-	for _, sp := range specsFor(scale, false) {
-		for _, algo := range []bench.Algo{bench.AlgoOurs, bench.AlgoTrimExhaustive} {
-			m, err := bench.Run(bench.Generate(sp), algo, cfg)
-			if err != nil {
-				return "", err
-			}
-			rows = append(rows, m)
-		}
+func table4(ds rules.Set, scale string, h harness) (string, error) {
+	rows, err := h.runCells(ds, specsFor(scale, false),
+		[]bench.Algo{bench.AlgoOurs, bench.AlgoTrimExhaustive})
+	if err != nil {
+		return "", err
 	}
 	return report.Table("Table IV — multiple pin candidate locations", rows, bench.AlgoOurs), nil
 }
 
 // fig20 measures our router's runtime across instance sizes and fits the
-// empirical complexity exponent (paper: ~ n^1.42).
-func fig20(ds rules.Set, scale string) (string, error) {
-	specs := specsFor(scale, true)
-	cfg := bench.RunConfig{Rules: ds}
+// empirical complexity exponent (paper: ~ n^1.42). Cells run in parallel;
+// each CPU measurement is the cell's own routing time, which shares cores
+// with concurrent cells — pass -jobs 1 for exclusive-core timing.
+func fig20(ds rules.Set, scale string, h harness) (string, error) {
+	rows, err := h.runCells(ds, specsFor(scale, true), []bench.Algo{bench.AlgoOurs})
+	if err != nil {
+		return "", err
+	}
 	var xs, ys []float64
 	var b strings.Builder
 	b.WriteString("Fig. 20 — runtime vs number of nets (ours)\n")
 	fmt.Fprintf(&b, "%10s %12s\n", "#nets", "CPU(s)")
-	for _, sp := range specs {
-		m, err := bench.Run(bench.Generate(sp), bench.AlgoOurs, cfg)
-		if err != nil {
-			return "", err
-		}
+	for _, m := range rows {
 		xs = append(xs, float64(m.Nets))
 		ys = append(ys, m.CPU.Seconds())
 		fmt.Fprintf(&b, "%10d %12.3f\n", m.Nets, m.CPU.Seconds())
@@ -189,15 +209,10 @@ func fig20(ds rules.Set, scale string) (string, error) {
 // stages renders the observability layer's per-stage wall-time breakdown
 // and search-effort counters for our router across the benchmark suite —
 // the profile behind the paper's runtime discussion (Section IV).
-func stages(ds rules.Set, scale string) (string, error) {
-	cfg := bench.RunConfig{Rules: ds}
-	var rows []bench.Metrics
-	for _, sp := range specsFor(scale, true) {
-		m, err := bench.Run(bench.Generate(sp), bench.AlgoOurs, cfg)
-		if err != nil {
-			return "", err
-		}
-		rows = append(rows, m)
+func stages(ds rules.Set, scale string, h harness) (string, error) {
+	rows, err := h.runCells(ds, specsFor(scale, true), []bench.Algo{bench.AlgoOurs})
+	if err != nil {
+		return "", err
 	}
 	return report.StageTable("Stage timing — ours (wall seconds per pipeline stage)", rows), nil
 }

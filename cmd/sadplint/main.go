@@ -13,6 +13,9 @@
 //   - stderr: no direct os.Stderr references in library packages
 //     (internal/...) — diagnostics flow through the internal/obs recorder;
 //     internal/obs itself, which owns the sanctioned default, is exempt.
+//   - pkgdoc: every internal/ package must open with a package comment
+//     stating its role (and paper section where one applies) — the
+//     contract behind ARCHITECTURE.md. Package-level; not suppressible.
 //
 // A finding is suppressed by a `//lint:allow <rule> <justification>`
 // comment on the same line or the line above; the justification is

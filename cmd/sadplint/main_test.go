@@ -42,6 +42,8 @@ func TestFixtureFindings(t *testing.T) {
 		"internal/lib/lib.go:63:40: [directive] lint:allow needs a rule name and a justification",
 		// stderr rule: direct write in library code
 		"internal/lib/lib.go:69:15: [stderr] os.Stderr in library code",
+		// pkgdoc rule: internal/ package without a package comment
+		"internal/nodoc/nodoc.go:1:9: [pkgdoc] package internal/nodoc has no package comment",
 	}
 	for _, w := range want {
 		if !strings.Contains(out, w) {

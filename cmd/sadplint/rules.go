@@ -21,6 +21,7 @@ const (
 	ruleGetenv    = "getenv"    // undocumented environment-variable read
 	ruleStderr    = "stderr"    // direct os.Stderr write in library code
 	ruleDirective = "directive" // malformed lint directive
+	rulePkgDoc    = "pkgdoc"    // internal/ package without a package comment
 )
 
 // floatPkgs are the packages where the paper's integer-grid model forbids
@@ -59,6 +60,7 @@ func lintModule(l *loader, patterns []string) []finding {
 		for _, file := range p.files {
 			out = append(out, lintFile(l, p, file)...)
 		}
+		out = append(out, checkPkgDoc(l, p)...)
 	}
 	for i := range out {
 		if rel, err := filepath.Rel(l.root, out[i].pos.Filename); err == nil {
@@ -79,6 +81,27 @@ func lintModule(l *loader, patterns []string) []finding {
 		return a.rule < b.rule
 	})
 	return out
+}
+
+// checkPkgDoc enforces the ARCHITECTURE.md contract that every internal/
+// package opens with a package comment stating its role (and, where one
+// exists, the paper section it implements). The finding anchors at the
+// package clause of the package's first file and — being a package-level
+// property, not a line-level one — cannot be suppressed with lint:allow.
+func checkPkgDoc(l *loader, p *lintPkg) []finding {
+	if !strings.HasPrefix(p.relDir, "internal/") || len(p.files) == 0 {
+		return nil
+	}
+	for _, file := range p.files {
+		if file.Doc != nil && strings.TrimSpace(file.Doc.Text()) != "" {
+			return nil
+		}
+	}
+	return []finding{{
+		pos:  l.fset.Position(p.files[0].Name.Pos()),
+		rule: rulePkgDoc,
+		msg:  fmt.Sprintf("package %s has no package comment; document its role and paper section", p.relDir),
+	}}
 }
 
 func lintFile(l *loader, p *lintPkg, file *ast.File) []finding {

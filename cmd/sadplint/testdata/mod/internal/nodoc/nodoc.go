@@ -1,0 +1,5 @@
+package nodoc
+
+// Answer exists only so the package is non-empty; the violation here is
+// the missing package comment above the package clause.
+func Answer() int { return 42 }

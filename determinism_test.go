@@ -3,8 +3,12 @@ package sadp
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"strings"
+	"sync"
 	"testing"
+
+	"sadproute/internal/bench"
 )
 
 // TestRouteDeterminism guards the ROADMAP's caching/parallelism work: the
@@ -87,4 +91,77 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestRouteDeterminismParallel extends the determinism guarantee to the
+// parallel experiment harness: fanning (benchmark × algorithm) cells
+// across a worker pool must merge into the same canonical-order Metrics
+// and the same per-cell JSONL traces as the serial run — workers get
+// private recorders, so concurrency can reorder only wall-clock, never
+// results.
+func TestRouteDeterminismParallel(t *testing.T) {
+	specs := []bench.Spec{
+		{Name: "detP1", Nets: 90, Tracks: 40, Layers: 3, Seed: 101, PinCandidates: 2, AvgHPWL: 5, Blockages: 2},
+		{Name: "detP2", Nets: 110, Tracks: 44, Layers: 3, Seed: 102, PinCandidates: 1, AvgHPWL: 6, Blockages: 2},
+	}
+	var cells []bench.Cell
+	for _, sp := range specs {
+		for _, a := range []bench.Algo{bench.AlgoOurs, bench.AlgoTrimGreedy} {
+			cells = append(cells, bench.Cell{Spec: sp, Algo: a})
+		}
+	}
+	type traceFile struct {
+		bytes.Buffer
+	}
+	run := func(jobs int) (string, map[string]*traceFile) {
+		traces := map[string]*traceFile{}
+		var mu sync.Mutex
+		h := bench.Harness{
+			Jobs: jobs,
+			Cfg:  bench.RunConfig{Rules: Node10nm()},
+			TraceWriter: func(c bench.Cell) (io.WriteCloser, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				f := &traceFile{}
+				traces[c.String()] = f
+				return struct {
+					io.Writer
+					io.Closer
+				}{f, io.NopCloser(nil)}, nil
+			},
+		}
+		rows, err := h.Run(cells)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		var b bytes.Buffer
+		for _, m := range rows {
+			m.CPU = 0
+			for j := range m.Obs.StageNS {
+				m.Obs.StageNS[j] = 0
+			}
+			fmt.Fprintf(&b, "%s/%s rout=%.2f so=%.1f conf=%d wl=%d vias=%d ripups=%d\n%s",
+				m.Bench, m.Algo, m.RoutabilityPct, m.OverlayUnits,
+				m.Conflicts+m.HardOverlays, m.Wirelength, m.Vias, m.Ripups,
+				m.Obs.CountersString())
+		}
+		return b.String(), traces
+	}
+	serial, serialTr := run(1)
+	parallel, parallelTr := run(4)
+	if serial != parallel {
+		t.Fatalf("parallel harness is not deterministic:\n--- jobs=1\n%s\n--- jobs=4\n%s", serial, parallel)
+	}
+	if len(serialTr) != 2 {
+		t.Fatalf("want 2 traces (one per ours-cell), got %d", len(serialTr))
+	}
+	for name, s := range serialTr {
+		p, ok := parallelTr[name]
+		if !ok || s.Len() == 0 {
+			t.Fatalf("trace %s missing or empty (parallel present: %v)", name, ok)
+		}
+		if !bytes.Equal(s.Bytes(), p.Bytes()) {
+			t.Fatalf("trace %s is not byte-identical between serial and parallel runs", name)
+		}
+	}
 }

@@ -8,7 +8,7 @@
 package astar
 
 import (
-	"container/heap"
+	"sync"
 
 	"sadproute/internal/grid"
 	"sadproute/internal/obs"
@@ -41,12 +41,16 @@ type Config struct {
 const Scale = 2
 
 // Engine holds reusable search state for one grid; it is not safe for
-// concurrent use.
+// concurrent use. Engines are cheap to rebind (Bind) and poolable
+// (Acquire/Release), so a worker routing many instances back to back reuses
+// one engine's allocations instead of paying a fresh O(cells) allocation
+// per instance.
 type Engine struct {
 	g      *grid.Grid
 	dist   []int
 	stamp  []int32
 	parent []int32
+	tmark  []int32 // target marks for the current search (stamped with cur)
 	cur    int32
 	queue  pq
 	// Per-search statistics, reset by Search. The inner loop maintains them
@@ -63,13 +67,56 @@ type Engine struct {
 
 // New creates an engine bound to g.
 func New(g *grid.Grid) *Engine {
+	e := &Engine{}
+	e.Bind(g)
+	return e
+}
+
+// Bind points the engine at g, reusing the per-cell arrays when they are
+// large enough and reallocating only when g exceeds every grid this engine
+// has seen. Search state from the previous grid is discarded.
+func (e *Engine) Bind(g *grid.Grid) {
 	n := g.W * g.H * g.Layers
-	return &Engine{
-		g:      g,
-		dist:   make([]int, n),
-		stamp:  make([]int32, n),
-		parent: make([]int32, n),
+	e.g = g
+	e.cur = 0
+	e.queue = e.queue[:0]
+	if cap(e.dist) < n {
+		e.dist = make([]int, n)
+		e.stamp = make([]int32, n)
+		e.parent = make([]int32, n)
+		e.tmark = make([]int32, n)
+		return
 	}
+	e.dist = e.dist[:n]
+	e.stamp = e.stamp[:n]
+	e.parent = e.parent[:n]
+	e.tmark = e.tmark[:n]
+	// Stamps compare against cur, which restarts at 0: clear them so stale
+	// entries from the previous binding cannot alias the new search ids.
+	clear(e.stamp)
+	clear(e.tmark)
+}
+
+// enginePool backs Acquire/Release. Pooled engines keep their per-cell
+// arrays, so a worker that routes many same-order-of-magnitude instances
+// allocates the arrays once instead of once per instance.
+var enginePool = sync.Pool{New: func() any { return &Engine{} }}
+
+// Acquire returns a pooled engine bound to g. Callers that route many
+// netlists in sequence (the bench harness workers, the baselines) should
+// pair it with Release; the engine is NOT safe for concurrent use.
+func Acquire(g *grid.Grid) *Engine {
+	e := enginePool.Get().(*Engine)
+	e.Bind(g)
+	return e
+}
+
+// Release detaches the engine from its grid and recorder and returns it to
+// the pool. The caller must not use the engine afterwards.
+func (e *Engine) Release() {
+	e.g = nil
+	e.Rec = nil
+	enginePool.Put(e)
 }
 
 func (e *Engine) idx(c grid.Cell) int { return (c.L*e.g.H+c.Y)*e.g.W + c.X }
@@ -94,12 +141,46 @@ func (q pq) Less(i, j int) bool {
 	}
 	return q[i].g > q[j].g // prefer deeper nodes on f-ties: straighter paths
 }
-func (q *pq) Push(x any) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() any {
+
+// push and pop are the container/heap algorithm specialized to pqItem:
+// identical comparison order (so identical tie-breaking and traces), but
+// no interface boxing — the boxed pqItem per Push/Pop dominated the
+// engine's allocation profile before this.
+func (q *pq) push(it pqItem) {
+	*q = append(*q, it)
+	i := len(*q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.Less(i, p) {
+			break
+		}
+		q.Swap(i, p)
+		i = p
+	}
+}
+
+func (q *pq) pop() pqItem {
 	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
+	n := len(old) - 1
+	old.Swap(0, n)
+	it := old[n]
+	*q = old[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && old.Less(r, l) {
+			j = r
+		}
+		if !old.Less(j, i) {
+			break
+		}
+		old.Swap(i, j)
+		i = j
+	}
 	return it
 }
 
@@ -116,13 +197,20 @@ func (e *Engine) Search(id int32, sources, targets []grid.Cell, cfg Config) ([]g
 	e.Expand, e.Pushes, e.Pops, e.HeapPeak = 0, 0, 0, 0
 	defer e.flushObs()
 
-	tset := make(map[int]bool, len(targets))
+	// Targets are marked in the reusable tmark array (stamped with the
+	// search id) instead of a per-search map: membership tests in the pop
+	// loop become one array load and Search stops allocating per call.
+	ntargets := 0
 	for _, t := range targets {
-		if e.g.In(t) {
-			tset[e.idx(t)] = true
+		if !e.g.In(t) {
+			continue
+		}
+		if i := e.idx(t); e.tmark[i] != e.cur {
+			e.tmark[i] = e.cur
+			ntargets++
 		}
 	}
-	if len(tset) == 0 {
+	if ntargets == 0 {
 		return nil, false
 	}
 	h := func(c grid.Cell) int {
@@ -146,7 +234,7 @@ func (e *Engine) Search(id int32, sources, targets []grid.Cell, cfg Config) ([]g
 		e.stamp[i] = e.cur
 		e.dist[i] = gcost
 		e.parent[i] = parent
-		heap.Push(&e.queue, pqItem{idx: int32(i), f: gcost + h(e.cell(i)), g: gcost})
+		e.queue.push(pqItem{idx: int32(i), f: gcost + h(e.cell(i)), g: gcost})
 		e.Pushes++
 		if n := e.queue.Len(); n > e.HeapPeak {
 			e.HeapPeak = n
@@ -162,7 +250,7 @@ func (e *Engine) Search(id int32, sources, targets []grid.Cell, cfg Config) ([]g
 
 	var steps = [6]grid.Cell{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}, {L: 1}, {L: -1}}
 	for e.queue.Len() > 0 {
-		it := heap.Pop(&e.queue).(pqItem)
+		it := e.queue.pop()
 		e.Pops++
 		i := int(it.idx)
 		if e.stamp[i] == e.cur && e.dist[i] < it.g {
@@ -172,7 +260,7 @@ func (e *Engine) Search(id int32, sources, targets []grid.Cell, cfg Config) ([]g
 		if cfg.MaxExpand > 0 && e.Expand > cfg.MaxExpand {
 			return nil, false
 		}
-		if tset[i] {
+		if e.tmark[i] == e.cur {
 			return e.trace(i), true
 		}
 		c := e.cell(i)

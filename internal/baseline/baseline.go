@@ -1,6 +1,6 @@
 // Package baseline implements three detailed routers standing in for the
-// prior works the paper compares against (see DESIGN.md §4 for the
-// substitution argument):
+// prior works the paper's Section IV evaluation compares against (see
+// DESIGN.md §4 for the substitution argument):
 //
 //   - TrimGreedy  — the trim-process router of Gao & Pan [11]: routing and
 //     decomposition are simultaneous, but net colors are fixed when routed,
@@ -79,7 +79,7 @@ func newCommon(nl *netlist.Netlist, ds rules.Set) *common {
 		pen: make(map[grid.Cell]int),
 		out: &Out{},
 	}
-	c.eng = astar.New(c.g)
+	c.eng = astar.Acquire(c.g)
 	c.frags = make([]*fragstore.Store, nl.Layers)
 	c.colors = make([]map[int]decomp.Color, nl.Layers)
 	for l := 0; l < nl.Layers; l++ {
@@ -87,6 +87,12 @@ func newCommon(nl *netlist.Netlist, ds rules.Set) *common {
 		c.colors[l] = make(map[int]decomp.Color)
 	}
 	return c
+}
+
+// release returns the pooled A* engine; the common must not search again.
+func (c *common) release() {
+	c.eng.Release()
+	c.eng = nil
 }
 
 func (c *common) search(id int, n netlist.Net, soft int) ([]grid.Cell, bool) {

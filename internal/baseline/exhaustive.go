@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -27,18 +28,34 @@ type TrimExhaustive struct {
 }
 
 // Run routes the netlist; returns nil when the time budget was exceeded
-// (the paper's "NA" entries).
+// (the paper's "NA" entries). It is RunCtx under a context derived from
+// Budget.
 func (t TrimExhaustive) Run(nl *netlist.Netlist, ds rules.Set) *Out {
+	ctx := context.Background()
+	if t.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t.Budget)
+		defer cancel()
+	}
+	return t.RunCtx(ctx, nl, ds)
+}
+
+// RunCtx routes the netlist under ctx and returns nil as soon as ctx is
+// canceled or its deadline passes — the paper's "NA" entries. Cancellation
+// is checked per candidate pair inside the exhaustive sweep, not only per
+// net, so even the multi-hour nets of the paper-scale Table IV abort
+// promptly. The bench harness uses this for per-cell budget cancellation.
+func (t TrimExhaustive) RunCtx(ctx context.Context, nl *netlist.Netlist, ds rules.Set) *Out {
 	start := time.Now()
 	if t.MaxRipup == 0 {
 		t.MaxRipup = 3
 	}
 	c := newCommon(nl, ds)
+	defer c.release()
 	for _, id := range netOrder(nl) {
-		if t.Budget > 0 && time.Since(start) > t.Budget {
+		if !t.routeNet(ctx, c, id) {
 			return nil
 		}
-		t.routeNet(c, id)
 	}
 	c.out.Layouts = c.layouts()
 	c.out.Trim = true
@@ -46,13 +63,17 @@ func (t TrimExhaustive) Run(nl *netlist.Netlist, ds rules.Set) *Out {
 	return c.out
 }
 
-func (t TrimExhaustive) routeNet(c *common, id int) {
+// routeNet routes one net; false means the context was canceled mid-sweep.
+func (t TrimExhaustive) routeNet(ctx context.Context, c *common, id int) bool {
 	n := c.nl.Nets[id]
 	for attempt := 0; ; attempt++ {
-		path, cols, score := t.bestCandidate(c, id, n)
+		path, cols, score, ok := t.bestCandidate(ctx, c, id, n)
+		if !ok {
+			return false
+		}
 		if path == nil {
 			c.out.Failed++
-			return
+			return true
 		}
 		c.commit(id, path)
 		for l, col := range cols {
@@ -62,7 +83,7 @@ func (t TrimExhaustive) routeNet(c *common, id int) {
 		}
 		if score == 0 || attempt >= t.MaxRipup {
 			c.out.Routed++
-			return
+			return true
 		}
 		c.ripup(id, path)
 		c.out.Ripups++
@@ -74,13 +95,17 @@ func (t TrimExhaustive) routeNet(c *common, id int) {
 
 // bestCandidate sweeps every pin-candidate pair, tentatively routing and
 // oracle-scoring each, and returns the cheapest path with its per-layer
-// colors and conflict score.
-func (t TrimExhaustive) bestCandidate(c *common, id int, n netlist.Net) ([]grid.Cell, []decomp.Color, int) {
+// colors and conflict score. ok is false when ctx was canceled during the
+// sweep (the partial best is discarded).
+func (t TrimExhaustive) bestCandidate(ctx context.Context, c *common, id int, n netlist.Net) ([]grid.Cell, []decomp.Color, int, bool) {
 	var bestPath []grid.Cell
 	var bestCols []decomp.Color
 	bestScore, bestLen := 1<<40, 1<<40
 	for _, a := range n.A.Candidates {
 		for _, b := range n.B.Candidates {
+			if ctx.Err() != nil {
+				return nil, nil, 0, false
+			}
 			sub := netlist.Net{ID: id, A: netlist.Pin{Candidates: []grid.Cell{a}}, B: netlist.Pin{Candidates: []grid.Cell{b}}}
 			path, ok := c.search(id, sub, 0)
 			if !ok {
@@ -93,7 +118,7 @@ func (t TrimExhaustive) bestCandidate(c *common, id int, n netlist.Net) ([]grid.
 			}
 		}
 	}
-	return bestPath, bestCols, bestScore
+	return bestPath, bestCols, bestScore, true
 }
 
 // scorePath tentatively commits the path, decomposes a window around it

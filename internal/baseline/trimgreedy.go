@@ -30,6 +30,7 @@ func (t TrimGreedy) Run(nl *netlist.Netlist, ds rules.Set) *Out {
 		t.MaxRipup = 3
 	}
 	c := newCommon(nl, ds)
+	defer c.release()
 	for _, id := range netOrder(nl) {
 		t.routeNet(c, id)
 	}

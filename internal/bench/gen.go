@@ -1,7 +1,11 @@
 // Package bench generates synthetic benchmark netlists with the scale and
 // density profile of the paper's Test1-Test10 designs (proprietary in the
 // original; see DESIGN.md for the substitution argument) and provides the
-// harness that routes them and measures the paper's evaluation metrics.
+// harness that routes them and measures the paper's evaluation metrics —
+// the machinery behind the evaluation section (Section IV, Tables III/IV
+// and Fig. 20). The parallel Harness fans (benchmark × algorithm) cells
+// across a worker pool and merges results in canonical order, so tables
+// and traces are identical to the serial run's.
 package bench
 
 import (

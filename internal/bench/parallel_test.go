@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sadproute/internal/obs"
+	"sadproute/internal/rules"
+)
+
+// harnessCells is a small (2 benchmarks × 3 algorithms) matrix exercising
+// our router and both quick baselines. The exhaustive baseline is covered
+// separately (TestHarnessBudgetNA) because its cost is quadratic in pins.
+func harnessCells() []Cell {
+	specs := []Spec{
+		{Name: "parA", Nets: 60, Tracks: 32, Layers: 3, Seed: 11, PinCandidates: 1, AvgHPWL: 5, Blockages: 1},
+		{Name: "parB", Nets: 80, Tracks: 40, Layers: 3, Seed: 12, PinCandidates: 1, AvgHPWL: 5, Blockages: 1},
+	}
+	algos := []Algo{AlgoOurs, AlgoTrimGreedy, AlgoCutNoMerge}
+	var cells []Cell
+	for _, sp := range specs {
+		for _, a := range algos {
+			cells = append(cells, Cell{Spec: sp, Algo: a})
+		}
+	}
+	return cells
+}
+
+// stripWallClock zeroes the only nondeterministic Metrics fields — CPU and
+// the stage wall-time accumulators — leaving counters, gauges and all
+// routing/oracle metrics intact for exact comparison.
+func stripWallClock(rows []Metrics) []Metrics {
+	out := make([]Metrics, len(rows))
+	copy(out, rows)
+	for i := range out {
+		out[i].CPU = 0
+		for j := range out[i].Obs.StageNS {
+			out[i].Obs.StageNS[j] = 0
+		}
+	}
+	return out
+}
+
+// memSink is an in-memory trace WriteCloser keyed by cell, safe for
+// concurrent opens from harness workers.
+type memSink struct {
+	mu   sync.Mutex
+	bufs map[string]*bytes.Buffer
+}
+
+type memFile struct{ *bytes.Buffer }
+
+func (memFile) Close() error { return nil }
+
+func (m *memSink) open(c Cell) (*memFile, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.bufs == nil {
+		m.bufs = map[string]*bytes.Buffer{}
+	}
+	b := &bytes.Buffer{}
+	m.bufs[c.String()] = b
+	return &memFile{b}, nil
+}
+
+// TestHarnessParallelMatchesSerial is the tentpole's contract: -jobs 4 and
+// -jobs 1 produce identical Metrics slices (modulo wall-clock fields),
+// identical per-cell traces byte for byte, and identical aggregate
+// counters.
+func TestHarnessParallelMatchesSerial(t *testing.T) {
+	cells := harnessCells()
+	run := func(jobs int) ([]Metrics, map[string]*bytes.Buffer) {
+		sink := &memSink{}
+		h := Harness{
+			Jobs:        jobs,
+			Cfg:         RunConfig{Rules: rules.Node10nm()},
+			TraceWriter: func(c Cell) (io.WriteCloser, error) { return sink.open(c) },
+		}
+		rows, err := h.Run(cells)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return rows, sink.bufs
+	}
+
+	serial, serialTr := run(1)
+	parallel, parallelTr := run(4)
+
+	if len(serial) != len(cells) || len(parallel) != len(cells) {
+		t.Fatalf("row count: serial %d, parallel %d, want %d", len(serial), len(parallel), len(cells))
+	}
+	s, p := stripWallClock(serial), stripWallClock(parallel)
+	for i := range s {
+		if !reflect.DeepEqual(s[i], p[i]) {
+			t.Errorf("cell %s: serial and parallel Metrics differ:\nserial:   %+v\nparallel: %+v",
+				cells[i], s[i], p[i])
+		}
+	}
+
+	// Canonical order: row i must describe cell i.
+	for i, c := range cells {
+		if serial[i].Bench != c.Spec.Name || serial[i].Algo != string(c.Algo) {
+			t.Errorf("row %d out of canonical order: got %s/%s, want %s", i, serial[i].Bench, serial[i].Algo, c)
+		}
+	}
+
+	// Per-cell traces are byte-identical; only ours-cells have traces.
+	if len(serialTr) != 2 || len(parallelTr) != 2 {
+		t.Fatalf("trace count: serial %d, parallel %d, want 2 (one per ours-cell)", len(serialTr), len(parallelTr))
+	}
+	for name, sb := range serialTr {
+		pb, ok := parallelTr[name]
+		if !ok {
+			t.Fatalf("parallel run missing trace %s", name)
+		}
+		if sb.Len() == 0 {
+			t.Fatalf("trace %s is empty", name)
+		}
+		if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+			t.Errorf("trace %s differs between serial and parallel runs", name)
+		}
+	}
+
+	// The canonical-order aggregate merges identically.
+	sa, pa := AggregateObs(serial), AggregateObs(parallel)
+	if sa.CountersString() != pa.CountersString() {
+		t.Errorf("aggregate snapshots differ:\n--- serial\n%s--- parallel\n%s",
+			sa.CountersString(), pa.CountersString())
+	}
+	if sa.Counter(obs.CtrRouteAttempts) == 0 {
+		t.Error("aggregate lost the ours-cells' counters")
+	}
+}
+
+// TestHarnessErrorDeterministic pins the failure contract: the harness
+// reports the lowest-indexed failing cell regardless of scheduling.
+func TestHarnessErrorDeterministic(t *testing.T) {
+	sp := Spec{Name: "err", Nets: 4, Tracks: 12, Layers: 2, Seed: 3, PinCandidates: 1, AvgHPWL: 4}
+	cells := []Cell{
+		{Spec: sp, Algo: AlgoOurs},
+		{Spec: sp, Algo: Algo("bogus-a")},
+		{Spec: sp, Algo: Algo("bogus-b")},
+	}
+	for _, jobs := range []int{1, 3} {
+		h := Harness{Jobs: jobs, Cfg: RunConfig{Rules: rules.Node10nm()}}
+		_, err := h.Run(cells)
+		if err == nil {
+			t.Fatalf("jobs=%d: want error for unknown algorithm", jobs)
+		}
+		if !strings.Contains(err.Error(), "bogus-a") {
+			t.Errorf("jobs=%d: error must name the first failing cell, got %v", jobs, err)
+		}
+	}
+}
+
+// TestHarnessBudgetNA proves the context-based budget path: an absurdly
+// small budget turns the exhaustive baseline's row into the paper's NA.
+func TestHarnessBudgetNA(t *testing.T) {
+	sp := Spec{Name: "na", Nets: 40, Tracks: 28, Layers: 3, Seed: 9, PinCandidates: 3, AvgHPWL: 5}
+	h := Harness{Jobs: 2, Cfg: RunConfig{Rules: rules.Node10nm(), Budget: time.Nanosecond}}
+	rows, err := h.Run([]Cell{{Spec: sp, Algo: AlgoTrimExhaustive}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows[0].NA {
+		t.Errorf("want NA under a 1 ns budget, got %+v", rows[0])
+	}
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -32,9 +33,13 @@ type Metrics struct {
 	Vias           int
 	Ripups         int
 
-	// Obs is the observability snapshot of the run: per-stage wall times
-	// plus the router/oracle counters. Only AlgoOurs populates it; baseline
-	// algorithms leave it zero.
+	// Obs is the observability snapshot of the run. AlgoOurs populates it
+	// fully: per-stage wall times plus the router/oracle counters. Baseline
+	// algorithms are uninstrumented, so their rows carry only a minimal
+	// snapshot — StageEvaluate (oracle measurement time) and StageTotal
+	// (routing CPU plus evaluation); every counter and gauge stays zero.
+	// See docs/trace-schema.md ("Metrics.Obs asymmetry") before comparing
+	// counter columns across algorithms.
 	Obs obs.Snapshot
 }
 
@@ -51,8 +56,15 @@ const (
 // RunConfig tunes a harness run.
 type RunConfig struct {
 	Rules rules.Set
-	// Budget aborts baseline runs that exceed it (0 = unlimited).
+	// Budget aborts baseline runs that exceed it (0 = unlimited). It is
+	// enforced by per-cell context cancellation: the exhaustive baseline
+	// aborts mid-sweep as soon as the deadline passes.
 	Budget time.Duration
+	// Context, when non-nil, is the parent of the per-run budget context;
+	// canceling it aborts budgeted baseline runs early. The parallel
+	// Harness threads its group context through here so one failing cell
+	// stops the sweeps of cells still pending. Nil means Background.
+	Context context.Context
 	// RouterOptions overrides the paper defaults for AlgoOurs (nil = defaults).
 	RouterOptions *router.Options
 }
@@ -98,7 +110,16 @@ func Run(nl *netlist.Netlist, algo Algo, cfg RunConfig) (Metrics, error) {
 		out := baseline.CutNoMerge{}.Run(nl, cfg.Rules)
 		fillBaseline(&m, out)
 	case AlgoTrimExhaustive:
-		out := baseline.TrimExhaustive{Budget: cfg.Budget}.Run(nl, cfg.Rules)
+		ctx := cfg.Context
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		if cfg.Budget > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, cfg.Budget)
+			defer cancel()
+		}
+		out := baseline.TrimExhaustive{}.RunCtx(ctx, nl, cfg.Rules)
 		if out == nil {
 			m.NA = true
 			m.CPU = cfg.Budget
@@ -117,7 +138,15 @@ func fillBaseline(m *Metrics, out *baseline.Out) {
 	m.Wirelength = out.WirelengthCells
 	m.Vias = out.Vias
 	m.Ripups = out.Ripups
+	// Baselines are uninstrumented; give their rows the minimal snapshot
+	// documented on Metrics.Obs: evaluation wall time measured here, total
+	// = routing CPU + evaluation. Counters stay zero.
+	rec := obs.New()
+	stopEval := rec.Span(obs.StageEvaluate)
 	fill(m, out.Layouts, out.Trim)
+	stopEval()
+	m.Obs = rec.Snapshot()
+	m.Obs.StageNS[obs.StageTotal] = int64(out.CPU) + m.Obs.StageNS[obs.StageEvaluate]
 }
 
 // fill measures the colored layouts with the matching oracle. For cut-

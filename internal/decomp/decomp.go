@@ -1,4 +1,5 @@
-// Package decomp implements the SADP layout-decomposition oracle: given a
+// Package decomp implements the SADP layout-decomposition oracle (the
+// process model of paper Section II and its merge technique): given a
 // colored layout (every pattern assigned to the core mask or to the second
 // mask) it synthesizes assistant core patterns, merges core material closer
 // than d_core (the paper's merge technique, realized as bridge rectangles

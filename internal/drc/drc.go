@@ -1,5 +1,7 @@
 // Package drc is an independent design-rule verifier for SADP cut-process
-// (and trim-process) layouts. It takes only raw per-layer geometry plus the
+// (and trim-process) layouts — repository infrastructure with no paper
+// section of its own: it enforces the process rules of Section II against
+// the oracle rather than implementing a paper algorithm. It takes only raw per-layer geometry plus the
 // process rules and re-derives every verdict from scratch: per-net
 // connectivity, minimum width and spacing, side/tip/hard overlay
 // measurement and cut-mask d_cut conflicts. It deliberately shares no code

@@ -1,7 +1,7 @@
-// Package fragstore indexes routed wire fragments (Theorem 3 rectangles in
-// grid-cell coordinates) per layer for scenario detection, with removal
-// support for rip-up. It is shared by the paper's router and the baseline
-// routers.
+// Package fragstore indexes routed wire fragments (the Theorem 3
+// rectangles of Section III-A, in grid-cell coordinates) per layer for
+// scenario detection, with removal support for rip-up — infrastructure
+// shared by the paper's router and the baseline routers.
 package fragstore
 
 import (

@@ -1,6 +1,8 @@
 // Package geom provides integer geometry primitives for SADP layout
-// processing. All coordinates are integers; the unit is chosen by the caller
-// (nanometers for mask geometry, track indices for routing-grid geometry).
+// processing — shared infrastructure beneath every paper section rather
+// than an algorithm of its own. All coordinates are integers; the unit is
+// chosen by the caller (nanometers for mask geometry, track indices for
+// routing-grid geometry).
 //
 // Rectangles use half-open extents: a Rect covers points p with
 // X0 <= p.X < X1 and Y0 <= p.Y < Y1. A Rect with X1 <= X0 or Y1 <= Y0 is

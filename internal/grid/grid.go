@@ -1,5 +1,6 @@
 // Package grid implements the multi-layer grid-based routing plane of the
-// paper's problem formulation: a W x H track grid per routing layer, cell
+// paper's problem formulation (Section II, routing model shared by the
+// Section III-E router): a W x H track grid per routing layer, cell
 // occupancy by net, routing blockages, and vias between vertically adjacent
 // cells of neighboring layers.
 //

@@ -1,5 +1,6 @@
-// Package interval implements 1-D integer interval-set algebra. It is the
-// workhorse of the layout-decomposition oracle: side-overlay measurement,
+// Package interval implements 1-D integer interval-set algebra —
+// infrastructure with no paper section of its own. It is the workhorse of
+// the layout-decomposition oracle: side-overlay measurement,
 // spacer-protection coverage, and cut-conflict detection are all expressed
 // as unions, intersections and subtractions of half-open intervals along a
 // pattern boundary.

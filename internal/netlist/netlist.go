@@ -1,7 +1,8 @@
-// Package netlist models the router's input: two-pin nets whose pins have
-// one or more candidate locations (the paper's two benchmark families use
-// fixed pins and multiple pin candidate locations respectively), plus
-// routing blockages, on a W x H x Layers grid.
+// Package netlist models the router's input (paper Section II, problem
+// input; Section IV's two benchmark families): two-pin nets whose pins
+// have one or more candidate locations (fixed pins for Table III, multiple
+// pin candidate locations for Table IV), plus routing blockages, on a
+// W x H x Layers grid.
 package netlist
 
 import (

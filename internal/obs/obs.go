@@ -1,7 +1,8 @@
-// Package obs is the repository's observability substrate: a stdlib-only
-// metrics registry (atomic counters, max-tracking gauges, per-stage
-// duration accumulators) plus a structured trace-event sink emitting
-// deterministic JSONL.
+// Package obs is the repository's observability substrate — pure
+// infrastructure, tied to no paper section: a stdlib-only metrics registry
+// (atomic counters, max-tracking gauges, per-stage duration accumulators)
+// plus a structured trace-event sink emitting deterministic JSONL (event
+// schema: docs/trace-schema.md).
 //
 // Design constraints, in order:
 //
@@ -329,6 +330,24 @@ type Snapshot struct {
 	Counters [numCounters]int64
 	Gauges   [numGauges]int64
 	StageNS  [numStages]int64
+}
+
+// Accumulate merges o into s: counters and stage times are summed, gauges
+// (high-water marks) are maxed. The bench harness uses it to fold per-cell
+// snapshots into one aggregate in canonical cell order, so a parallel run
+// merges to exactly the serial run's totals.
+func (s *Snapshot) Accumulate(o *Snapshot) {
+	for i := range s.Counters {
+		s.Counters[i] += o.Counters[i]
+	}
+	for i := range s.Gauges {
+		if o.Gauges[i] > s.Gauges[i] {
+			s.Gauges[i] = o.Gauges[i]
+		}
+	}
+	for i := range s.StageNS {
+		s.StageNS[i] += o.StageNS[i]
+	}
 }
 
 // Counter returns one counter's value.

@@ -1,6 +1,7 @@
 // Package render draws decomposed SADP layouts as SVG (and coarse ASCII)
-// for the reproduction of the paper's Figs. 21-22: target patterns colored
-// by mask, assistant cores, merge bridges, and overlay segments.
+// for the reproduction of the paper's Figs. 21-22 (Section IV, routed
+// layout comparison): target patterns colored by mask, assistant cores,
+// merge bridges, and overlay segments.
 package render
 
 import (

@@ -1,0 +1,51 @@
+package report
+
+import (
+	"testing"
+
+	"sadproute/internal/bench"
+	"sadproute/internal/rules"
+)
+
+// TestTableParallelMatchesSerial renders the same (benchmark × algorithm)
+// matrix through the serial and parallel harness and requires the emitted
+// tables to be byte-identical — the user-visible form of the harness's
+// canonical-merge guarantee. Wall-clock columns are neutralized by zeroing
+// CPU and stage times before rendering, exactly as any two runs of the
+// same binary would otherwise differ.
+func TestTableParallelMatchesSerial(t *testing.T) {
+	specs := []bench.Spec{
+		{Name: "repA", Nets: 50, Tracks: 30, Layers: 3, Seed: 21, PinCandidates: 1, AvgHPWL: 5, Blockages: 1},
+		{Name: "repB", Nets: 70, Tracks: 36, Layers: 3, Seed: 22, PinCandidates: 1, AvgHPWL: 5, Blockages: 1},
+	}
+	algos := []bench.Algo{bench.AlgoOurs, bench.AlgoTrimGreedy, bench.AlgoCutNoMerge}
+	var cells []bench.Cell
+	for _, sp := range specs {
+		for _, a := range algos {
+			cells = append(cells, bench.Cell{Spec: sp, Algo: a})
+		}
+	}
+	render := func(jobs int) (string, string) {
+		h := bench.Harness{Jobs: jobs, Cfg: bench.RunConfig{Rules: rules.Node10nm()}}
+		rows, err := h.Run(cells)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i := range rows {
+			rows[i].CPU = 0
+			for j := range rows[i].Obs.StageNS {
+				rows[i].Obs.StageNS[j] = 0
+			}
+		}
+		return Table("parallel-vs-serial", rows, bench.AlgoOurs),
+			StageTable("stages", rows)
+	}
+	serialTab, serialStages := render(1)
+	parallelTab, parallelStages := render(4)
+	if serialTab != parallelTab {
+		t.Errorf("rendered tables differ:\n--- jobs=1\n%s\n--- jobs=4\n%s", serialTab, parallelTab)
+	}
+	if serialStages != parallelStages {
+		t.Errorf("stage tables differ:\n--- jobs=1\n%s\n--- jobs=4\n%s", serialStages, parallelStages)
+	}
+}

@@ -173,7 +173,8 @@ func Route(nl *netlist.Netlist, ds rules.Set, opt Options) *Result {
 		pen: make(map[grid.Cell]int),
 		rec: rec,
 	}
-	st.eng = astar.New(st.g)
+	st.eng = astar.Acquire(st.g)
+	defer st.eng.Release()
 	st.eng.Rec = rec
 	st.ocgs = make([]*ocg.Graph, nl.Layers)
 	st.frags = make([]*fragstore.Store, nl.Layers)
