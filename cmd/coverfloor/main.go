@@ -1,0 +1,218 @@
+// Command coverfloor enforces the repository's per-package statement
+// coverage floors (coverage-floors.tsv at the repo root):
+//
+//	go test ./... -coverprofile=/tmp/cover.out
+//	coverfloor -profile /tmp/cover.out -floors coverage-floors.tsv
+//
+// It fails (exit 1) when any package's coverage drops below its floor,
+// when a package in the profile has no floor (new packages must declare
+// one), or when a floor references a package absent from the profile
+// (stale floors must be pruned). Regenerate the floors file after an
+// intentional coverage change with:
+//
+//	coverfloor -profile /tmp/cover.out -write > coverage-floors.tsv
+//
+// -write emits each package's current coverage minus a small slack
+// (-slack, default 2 points) rounded down to one decimal, so ordinary
+// test-order jitter never trips the gate but a deleted test does.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "coverfloor:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("coverfloor", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		profile = fs.String("profile", "", "cover profile from `go test -coverprofile`")
+		floors  = fs.String("floors", "coverage-floors.tsv", "TSV file of package -> minimum coverage percent")
+		write   = fs.Bool("write", false, "print a fresh floors file to stdout instead of checking")
+		slack   = fs.Float64("slack", 2.0, "percentage points subtracted from current coverage when writing floors")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *profile == "" {
+		fs.Usage()
+		return errors.New("missing -profile")
+	}
+
+	cov, err := coverageByPackage(*profile)
+	if err != nil {
+		return err
+	}
+	pkgs := make([]string, 0, len(cov))
+	for p := range cov {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+
+	if *write {
+		for _, p := range pkgs {
+			f := cov[p] - *slack
+			if f < 0 {
+				f = 0
+			}
+			// Round down to one decimal so the floor never exceeds intent.
+			fmt.Fprintf(stdout, "%s\t%.1f\n", p, float64(int(f*10))/10)
+		}
+		return nil
+	}
+
+	want, err := readFloors(*floors)
+	if err != nil {
+		return err
+	}
+	var failures []string
+	for _, p := range pkgs {
+		floor, ok := want[p]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: %.1f%% covered but has no floor in %s — add one", p, cov[p], *floors))
+			continue
+		}
+		if cov[p] < floor {
+			failures = append(failures, fmt.Sprintf("%s: %.1f%% covered, floor is %.1f%%", p, cov[p], floor))
+		}
+		delete(want, p)
+	}
+	stale := make([]string, 0, len(want))
+	for p := range want {
+		stale = append(stale, p)
+	}
+	sort.Strings(stale)
+	for _, p := range stale {
+		failures = append(failures, fmt.Sprintf("%s: floor declared but package absent from profile — prune it", p))
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(stdout, "FAIL", f)
+		}
+		return fmt.Errorf("%d coverage floor violation(s)", len(failures))
+	}
+	fmt.Fprintf(stdout, "coverage floors hold for %d packages\n", len(pkgs))
+	return nil
+}
+
+// coverageByPackage parses a cover profile into per-package statement
+// coverage percentages. Duplicate blocks (possible under -coverpkg) keep
+// the maximum observed count.
+func coverageByPackage(profilePath string) (map[string]float64, error) {
+	f, err := os.Open(profilePath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	type block struct {
+		stmts, count int
+	}
+	blocks := map[string]block{} // "file:range" -> block
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		// file.go:sl.sc,el.ec numStmts count
+		sp := strings.LastIndexByte(line, ' ')
+		sp2 := strings.LastIndexByte(line[:sp], ' ')
+		if sp < 0 || sp2 < 0 {
+			return nil, fmt.Errorf("malformed profile line: %q", line)
+		}
+		stmts, err1 := strconv.Atoi(line[sp2+1 : sp])
+		count, err2 := strconv.Atoi(line[sp+1:])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("malformed profile line: %q", line)
+		}
+		key := line[:sp2]
+		b := blocks[key]
+		b.stmts = stmts
+		if count > b.count {
+			b.count = count
+		}
+		blocks[key] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	type tally struct {
+		total, covered int
+	}
+	per := map[string]*tally{}
+	for key, b := range blocks {
+		colon := strings.LastIndexByte(key, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("malformed block key: %q", key)
+		}
+		pkg := path.Dir(key[:colon])
+		t := per[pkg]
+		if t == nil {
+			t = &tally{}
+			per[pkg] = t
+		}
+		t.total += b.stmts
+		if b.count > 0 {
+			t.covered += b.stmts
+		}
+	}
+	out := make(map[string]float64, len(per))
+	for pkg, t := range per {
+		if t.total == 0 {
+			continue
+		}
+		out[pkg] = 100 * float64(t.covered) / float64(t.total)
+	}
+	return out, nil
+}
+
+// readFloors parses the TSV floors file: "package<TAB>percent" per line,
+// '#' comments and blank lines ignored.
+func readFloors(floorsPath string) (map[string]float64, error) {
+	f, err := os.Open(floorsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"package<TAB>percent\", got %q", floorsPath, lineno, line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad percent %q", floorsPath, lineno, fields[1])
+		}
+		out[fields[0]] = v
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleProfile = `mode: set
+sadproute/internal/foo/a.go:10.2,12.3 3 1
+sadproute/internal/foo/a.go:14.2,15.3 1 0
+sadproute/internal/bar/b.go:1.2,2.3 2 5
+sadproute/internal/bar/b.go:1.2,2.3 2 0
+`
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCoverageByPackage(t *testing.T) {
+	cov, err := coverageByPackage(writeFile(t, "cover.out", sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// foo: 3 of 4 statements covered; bar: duplicate block keeps max count.
+	if got := cov["sadproute/internal/foo"]; got != 75 {
+		t.Errorf("foo coverage = %v, want 75", got)
+	}
+	if got := cov["sadproute/internal/bar"]; got != 100 {
+		t.Errorf("bar coverage = %v, want 100", got)
+	}
+}
+
+func TestCheckModes(t *testing.T) {
+	profile := writeFile(t, "cover.out", sampleProfile)
+	cases := []struct {
+		name, floors string
+		wantErr      string
+	}{
+		{"holds", "sadproute/internal/foo\t70.0\nsadproute/internal/bar\t99.0\n", ""},
+		{"below", "sadproute/internal/foo\t80.0\nsadproute/internal/bar\t99.0\n", "violation"},
+		{"missing floor", "sadproute/internal/foo\t70.0\n", "violation"},
+		{"stale floor", "sadproute/internal/foo\t70.0\nsadproute/internal/bar\t99.0\nsadproute/internal/gone\t10.0\n", "violation"},
+		{"comments and blanks ok", "# floors\n\nsadproute/internal/foo\t70.0\nsadproute/internal/bar\t99.0\n", ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			floors := writeFile(t, "floors.tsv", c.floors)
+			var out strings.Builder
+			err := run([]string{"-profile", profile, "-floors", floors}, &out)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v\n%s", err, out.String())
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error = %v, want substring %q\n%s", err, c.wantErr, out.String())
+			}
+		})
+	}
+}
+
+func TestWriteMode(t *testing.T) {
+	profile := writeFile(t, "cover.out", sampleProfile)
+	var out strings.Builder
+	if err := run([]string{"-profile", profile, "-write", "-slack", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	want := "sadproute/internal/bar\t98.0\nsadproute/internal/foo\t73.0\n"
+	if out.String() != want {
+		t.Errorf("-write output:\n%q\nwant:\n%q", out.String(), want)
+	}
+	// The emitted file must round-trip through the checker cleanly.
+	floors := writeFile(t, "floors.tsv", out.String())
+	var check strings.Builder
+	if err := run([]string{"-profile", profile, "-floors", floors}, &check); err != nil {
+		t.Fatalf("freshly written floors do not hold: %v\n%s", err, check.String())
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"sadproute/internal/rules"
+)
+
+// TestGoldenTables recomputes the golden TSVs and diffs them against the
+// checked-in files: any drift in the scenario classification, the router,
+// the baselines, or the decomposition oracle shows up as a line-level
+// diff here. After an INTENTIONAL algorithm change, regenerate with
+//
+//	go run ./cmd/experiments -which golden -out results/golden
+//
+// and review the diff like any other code change.
+func TestGoldenTables(t *testing.T) {
+	ds := rules.Node10nm()
+
+	check := func(name, got string) {
+		t.Helper()
+		path := "../../results/golden/" + name
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading golden file: %v (regenerate with `go run ./cmd/experiments -which golden -out results/golden`)", err)
+		}
+		if string(want) == got {
+			return
+		}
+		wantLines := strings.Split(string(want), "\n")
+		gotLines := strings.Split(got, "\n")
+		for i := 0; i < len(wantLines) || i < len(gotLines); i++ {
+			var w, g string
+			if i < len(wantLines) {
+				w = wantLines[i]
+			}
+			if i < len(gotLines) {
+				g = gotLines[i]
+			}
+			if w != g {
+				t.Errorf("%s line %d differs\nwant: %q\ngot:  %q", name, i+1, w, g)
+			}
+		}
+		t.Fatalf("%s drifted from the checked-in golden file; if the change is intentional, regenerate with `go run ./cmd/experiments -which golden -out results/golden`", name)
+	}
+
+	check("table2.tsv", goldenTable2TSV(ds))
+
+	t3, err := goldenTable3TSV(ds, harness{jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("table3.tsv", t3)
+}

@@ -48,11 +48,12 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		which  = fs.String("which", "table2", "comma list: table2,table3,table4,fig20,fig21,fig22,stages,appendix,ablation,all")
+		which  = fs.String("which", "table2", "comma list: table2,table3,table4,fig20,fig21,fig22,stages,netpar,golden,appendix,ablation,all")
 		scale  = fs.String("scale", "small", "benchmark scale: tiny | small | medium | paper")
 		outDir = fs.String("out", "results", "output directory")
 		budget = fs.Duration("budget", 30*time.Minute, "per-run time budget for the exhaustive baseline")
 		jobs   = fs.Int("jobs", runtime.NumCPU(), "parallel (benchmark x algorithm) cells; 1 = serial")
+		netW   = fs.Int("net-workers", 0, "concurrent nets within each routing run (internal/sched); <2 = serial, result byte-identical either way")
 		trDir  = fs.String("tracedir", "", "write one JSONL trace per ours-cell into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -94,7 +95,7 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
-	h := harness{jobs: *jobs, budget: *budget, traceDir: *trDir}
+	h := harness{jobs: *jobs, netWorkers: *netW, budget: *budget, traceDir: *trDir}
 	experiments := []struct {
 		name string
 		fn   func() (string, error)
@@ -105,6 +106,8 @@ func run(args []string, stdout io.Writer) error {
 		{"table4", func() (string, error) { return table4(ds, *scale, h) }},
 		{"fig20", func() (string, error) { return fig20(ds, *scale, h) }},
 		{"stages", func() (string, error) { return stages(ds, *scale, h) }},
+		{"netpar", func() (string, error) { return netpar(ds, *scale) }},
+		{"golden", func() (string, error) { return golden(ds, *outDir, h) }},
 		{"fig21", func() (string, error) { return fig21(ds, *outDir) }},
 		{"fig22", func() (string, error) { return fig22(ds, *outDir) }},
 		{"ablation", func() (string, error) { return ablation(ds, *scale) }},

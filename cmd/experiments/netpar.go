@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"sadproute/internal/bench"
+	"sadproute/internal/obs"
+	"sadproute/internal/router"
+	"sadproute/internal/rules"
+)
+
+// netpar measures the intra-instance parallel net scheduler on the
+// largest benchmark of the chosen scale: one routing run per worker
+// count, strictly one at a time (no cell-level parallelism, so the route
+// wall clock is not polluted by sibling cells). For each run it reports
+// the route-stage wall time, the speculative-phase stage timers, the
+// scheduler counters, and — the property the tentpole guarantees —
+// whether the result is byte-identical to the serial run.
+//
+// On a box with fewer free cores than workers the wall column cannot
+// show the speedup; the spec_serial/spec_makespan pair measures it
+// machine-independently: spec_serial is the summed duration of the
+// wave-parallel first searches, spec_makespan their LPT-packed critical
+// path on the given worker count. projected = wall - serial + makespan
+// is the route wall time with every worker on its own core.
+func netpar(ds rules.Set, scale string) (string, error) {
+	specs := specsFor(scale, true)
+	sp := specs[len(specs)-1]
+
+	type runRow struct {
+		workers             int
+		wall, spec          time.Duration
+		serial, makespan    time.Duration
+		waves, specSearches int64
+		hits, retries       int64
+		fingerprint         string
+	}
+
+	route := func(workers int) runRow {
+		nl := bench.Generate(sp)
+		opt := router.Defaults()
+		opt.NetWorkers = workers
+		rec := obs.New()
+		opt.Obs = rec
+		res := router.Route(nl, ds, opt)
+		snap := rec.Snapshot()
+		// The fingerprint covers everything deterministic about the run:
+		// route shape, decomposition totals, and every counter except the
+		// sched.* family (absent by definition in the serial run).
+		snap.Counters[obs.CtrSchedWaves] = 0
+		snap.Counters[obs.CtrSchedSpecSearches] = 0
+		snap.Counters[obs.CtrSchedSpecHits] = 0
+		snap.Counters[obs.CtrSchedSpecRetries] = 0
+		var fp bytes.Buffer
+		fmt.Fprintf(&fp, "routed=%d failed=%d wl=%d vias=%d paths=%v\n",
+			res.Routed, res.Failed, res.WirelengthCells, res.Vias, res.Paths)
+		fp.WriteString(snap.CountersString())
+		s := rec.Snapshot()
+		return runRow{
+			workers:      workers,
+			wall:         time.Duration(s.StageNS[obs.StageRoute]),
+			spec:         time.Duration(s.StageNS[obs.StageSpeculate]),
+			serial:       time.Duration(s.StageNS[obs.StageSpecSerial]),
+			makespan:     time.Duration(s.StageNS[obs.StageSpecMakespan]),
+			waves:        s.Counter(obs.CtrSchedWaves),
+			specSearches: s.Counter(obs.CtrSchedSpecSearches),
+			hits:         s.Counter(obs.CtrSchedSpecHits),
+			retries:      s.Counter(obs.CtrSchedSpecRetries),
+			fingerprint:  fp.String(),
+		}
+	}
+
+	var rows []runRow
+	for _, w := range []int{1, 2, 4} {
+		rows = append(rows, route(w))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "netpar — intra-instance parallel routing (%s, %d nets, -net-workers sweep, one run at a time)\n\n",
+		sp.Name, sp.Nets)
+	fmt.Fprintf(&b, "%8s %10s %10s %12s %14s %8s %12s %7s %6s %6s %8s %10s\n",
+		"workers", "wall(s)", "spec(s)", "serial(s)", "makespan(s)", "spec-x", "proj(s)", "waves", "spec#", "hits", "retries", "identical")
+	base := rows[0]
+	for _, r := range rows {
+		projected := r.wall - r.serial + r.makespan
+		specX := 1.0
+		if r.makespan > 0 {
+			specX = float64(r.serial) / float64(r.makespan)
+		}
+		ident := "yes"
+		if r.fingerprint != base.fingerprint {
+			ident = "NO"
+		}
+		fmt.Fprintf(&b, "%8d %10.3f %10.3f %12.3f %14.3f %8.2f %12.3f %7d %6d %6d %8d %10s\n",
+			r.workers, r.wall.Seconds(), r.spec.Seconds(), r.serial.Seconds(),
+			r.makespan.Seconds(), specX, projected.Seconds(),
+			r.waves, r.specSearches, r.hits, r.retries, ident)
+	}
+	b.WriteString("\nspec-x = serial/makespan: the wall-clock speedup of the speculative search phase\n")
+	b.WriteString("with every worker on its own core (LPT critical path over the measured durations).\n")
+	b.WriteString("proj = wall - serial + makespan: the route wall time when each worker has its own core.\n")
+	b.WriteString("identical compares route shape, decomposition totals and all non-sched counters to workers=1.\n")
+	for _, r := range rows {
+		if r.fingerprint != base.fingerprint {
+			return b.String(), fmt.Errorf("netpar: workers=%d result diverges from serial", r.workers)
+		}
+	}
+	return b.String(), nil
+}

@@ -12,6 +12,7 @@ import (
 	"sadproute/internal/decomp"
 	"sadproute/internal/geom"
 	"sadproute/internal/report"
+	"sadproute/internal/router"
 	"sadproute/internal/rules"
 	"sadproute/internal/scenario"
 )
@@ -19,9 +20,10 @@ import (
 // harness carries the scheduling knobs shared by the routing-heavy
 // experiments and builds one bench.Harness per (specs × algos) matrix.
 type harness struct {
-	jobs     int
-	budget   time.Duration
-	traceDir string
+	jobs       int
+	netWorkers int // intra-instance: concurrent nets within one routing run
+	budget     time.Duration
+	traceDir   string
 }
 
 // runCells routes every (spec × algo) cell across the worker pool and
@@ -36,6 +38,11 @@ func (h harness) runCells(ds rules.Set, specs []bench.Spec, algos []bench.Algo) 
 	bh := bench.Harness{
 		Jobs: h.jobs,
 		Cfg:  bench.RunConfig{Rules: ds, Budget: h.budget},
+	}
+	if h.netWorkers > 1 {
+		opt := router.Defaults()
+		opt.NetWorkers = h.netWorkers
+		bh.Cfg.RouterOptions = &opt
 	}
 	if h.traceDir != "" {
 		bh.TraceWriter = func(c bench.Cell) (io.WriteCloser, error) {

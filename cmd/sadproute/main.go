@@ -39,6 +39,7 @@ func run(args []string, stdout io.Writer) error {
 		in         = fs.String("in", "", "netlist file (see package netlist for the format)")
 		svgDir     = fs.String("svg", "", "directory for per-layer SVG renderings (optional)")
 		noFlip     = fs.Bool("no-flip", false, "disable the color-flipping DP")
+		netWorkers = fs.Int("net-workers", 0, "concurrent nets within the routing run (internal/sched); <2 = serial, result byte-identical either way")
 		noGamma    = fs.Bool("no-gamma", false, "disable the type-2-b routing penalty")
 		traceFile  = fs.String("trace", "", "write a deterministic JSONL trace of the run to this file")
 		metrics    = fs.Bool("metrics", false, "print the full counter/gauge/stage-timing snapshot")
@@ -78,6 +79,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	opt := sadp.Defaults()
+	opt.NetWorkers = *netWorkers
 	if *noFlip {
 		opt.ColorFlip = false
 	}

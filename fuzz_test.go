@@ -1,0 +1,91 @@
+package sadp
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sadproute/internal/grid"
+	"sadproute/internal/obs"
+)
+
+// FuzzScheduleCommitOrder drives the parallel net scheduler with fuzzed
+// benchmark shapes and worker counts and checks the tentpole's contract
+// from the outside: the committed result equals the serial run exactly
+// (commit order is the canonical order, so every path, failure, counter
+// and color matches), and no two nets' committed paths ever share a grid
+// cell. The decoding is total — every byte string yields a routable
+// instance small enough to route twice per input.
+func FuzzScheduleCommitOrder(f *testing.F) {
+	f.Add([]byte{40, 18, 7, 1, 5, 2, 4})
+	f.Add([]byte{12, 12, 3, 2, 3, 0, 2})
+	f.Add([]byte{90, 28, 11, 3, 6, 3, 8})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pos := 0
+		next := func() int {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return int(b)
+		}
+		sp := Spec{
+			Name:          "fuzz",
+			Nets:          1 + next()%30,
+			Tracks:        12 + next()%17,
+			Layers:        2 + next()%2,
+			Seed:          int64(next()),
+			PinCandidates: 1 + next()%3,
+			AvgHPWL:       3 + next()%5,
+			Blockages:     next() % 4,
+		}
+		workers := 2 + next()%7
+		nl := Generate(sp)
+		ds := Node10nm()
+
+		serial := Route(nl, ds, Defaults())
+
+		opt := Defaults()
+		opt.NetWorkers = workers
+		rec := NewRecorder()
+		opt.Obs = rec
+		par := Route(nl, ds, opt)
+
+		if par.Routed != serial.Routed || par.Failed != serial.Failed ||
+			par.WirelengthCells != serial.WirelengthCells || par.Vias != serial.Vias {
+			t.Fatalf("workers=%d totals diverge: serial routed=%d failed=%d wl=%d vias=%d, parallel routed=%d failed=%d wl=%d vias=%d",
+				workers, serial.Routed, serial.Failed, serial.WirelengthCells, serial.Vias,
+				par.Routed, par.Failed, par.WirelengthCells, par.Vias)
+		}
+		if !reflect.DeepEqual(par.Paths, serial.Paths) {
+			t.Fatalf("workers=%d paths diverge from the serial commit order", workers)
+		}
+		if !reflect.DeepEqual(par.Colors, serial.Colors) {
+			t.Fatalf("workers=%d colors diverge from the serial run", workers)
+		}
+
+		// No committed path may overlap a previously committed one: cells
+		// are exclusive per net (a net may legitimately revisit its own
+		// cells around via stacks).
+		owner := make(map[grid.Cell]int)
+		for id, path := range par.Paths {
+			for _, c := range path {
+				if prev, taken := owner[c]; taken && prev != id {
+					t.Fatalf("nets %d and %d both committed cell %+v", prev, id, c)
+				}
+				owner[c] = id
+			}
+		}
+
+		snap := rec.Snapshot()
+		hits := snap.Counter(obs.CtrSchedSpecHits)
+		retries := snap.Counter(obs.CtrSchedSpecRetries)
+		searches := snap.Counter(obs.CtrSchedSpecSearches)
+		if hits+retries > searches {
+			t.Fatalf("sched counters inconsistent: hits=%d retries=%d searches=%d (%s)",
+				hits, retries, searches, fmt.Sprint(sp))
+		}
+	})
+}

@@ -10,6 +10,7 @@ package astar
 import (
 	"sync"
 
+	"sadproute/internal/geom"
 	"sadproute/internal/grid"
 	"sadproute/internal/obs"
 )
@@ -60,6 +61,10 @@ type Engine struct {
 	Pushes   int // heap pushes of the last search
 	Pops     int // heap pops of the last search
 	HeapPeak int // open-list high-water mark of the last search
+	// Read-region tracking for speculative routing (ReadBBox): the XY
+	// bounding box of every source, target and expanded cell of the last
+	// search. Maintained unconditionally — four compares per expansion.
+	rx0, ry0, rx1, ry1 int
 	// Rec, when non-nil, receives the per-search statistics (counters plus
 	// the heap-peak gauge) in one flush at the end of every search.
 	Rec *obs.Recorder
@@ -195,6 +200,10 @@ func (e *Engine) Search(id int32, sources, targets []grid.Cell, cfg Config) ([]g
 	e.cur++
 	e.queue = e.queue[:0]
 	e.Expand, e.Pushes, e.Pops, e.HeapPeak = 0, 0, 0, 0
+	e.rx0, e.ry0, e.rx1, e.ry1 = int(^uint(0)>>1), int(^uint(0)>>1), -1<<30, -1<<30
+	for _, s := range sources {
+		e.note(s)
+	}
 	defer e.flushObs()
 
 	// Targets are marked in the reusable tmark array (stamped with the
@@ -202,6 +211,7 @@ func (e *Engine) Search(id int32, sources, targets []grid.Cell, cfg Config) ([]g
 	// loop become one array load and Search stops allocating per call.
 	ntargets := 0
 	for _, t := range targets {
+		e.note(t)
 		if !e.g.In(t) {
 			continue
 		}
@@ -264,6 +274,7 @@ func (e *Engine) Search(id int32, sources, targets []grid.Cell, cfg Config) ([]g
 			return e.trace(i), true
 		}
 		c := e.cell(i)
+		e.note(c)
 		for _, d := range steps {
 			nc := grid.Cell{X: c.X + d.X, Y: c.Y + d.Y, L: c.L + d.L}
 			if !e.g.In(nc) {
@@ -290,6 +301,37 @@ func (e *Engine) Search(id int32, sources, targets []grid.Cell, cfg Config) ([]g
 		}
 	}
 	return nil, false
+}
+
+// note grows the read-region bounding box to cover c.
+func (e *Engine) note(c grid.Cell) {
+	if c.X < e.rx0 {
+		e.rx0 = c.X
+	}
+	if c.X > e.rx1 {
+		e.rx1 = c.X
+	}
+	if c.Y < e.ry0 {
+		e.ry0 = c.Y
+	}
+	if c.Y > e.ry1 {
+		e.ry1 = c.Y
+	}
+}
+
+// ReadBBox over-approximates, as an XY bounding box in cell coordinates,
+// the set of grid cells whose occupancy or penalty the last Search may have
+// read: every expanded cell, every source and target candidate, plus a
+// two-cell margin covering neighbor probes and the step-cost hook's
+// one-cell lookahead. Any cell outside the box provably did not influence
+// the search result, which is exactly the property the speculative net
+// scheduler (internal/sched) needs to validate a concurrently computed
+// path at commit time.
+func (e *Engine) ReadBBox() geom.Rect {
+	if e.rx1 < e.rx0 {
+		return geom.Rect{}
+	}
+	return geom.Rect{X0: e.rx0, Y0: e.ry0, X1: e.rx1 + 1, Y1: e.ry1 + 1}.Expand(2)
 }
 
 // flushObs reports the last search's statistics to the attached Recorder

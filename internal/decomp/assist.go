@@ -1,6 +1,8 @@
 package decomp
 
 import (
+	"sort"
+
 	"sadproute/internal/geom"
 	"sadproute/internal/interval"
 	"sadproute/internal/rules"
@@ -70,6 +72,7 @@ func buildAssists(ly Layout, ts []tgt, tix *rectIndex) []Mat {
 	ws, wc := ds.WSpacer, ds.WCore
 	out0, out1 := ws, ws+wc
 	var out []Mat
+	var near []int
 	for _, t := range ts {
 		if t.color != Second {
 			continue
@@ -103,10 +106,17 @@ func buildAssists(ly Layout, ts []tgt, tix *rectIndex) []Mat {
 			if f.Empty() {
 				continue
 			}
+			// Subtract in target order, not index-bucket order: the union is
+			// order-independent but the rect decomposition (and with it which
+			// slivers fall under the w_core minimum) is not, and bucket scan
+			// order follows absolute coordinates.
 			pieces := []geom.Rect{f}
-			tix.query(f.Expand(ws), func(oi int) {
+			near = near[:0]
+			tix.query(f.Expand(ws), func(oi int) { near = append(near, oi) })
+			sort.Ints(near)
+			for _, oi := range near {
 				if len(pieces) == 0 {
-					return
+					break
 				}
 				o := ts[oi]
 				var sub geom.Rect
@@ -116,7 +126,7 @@ func buildAssists(ly Layout, ts []tgt, tix *rectIndex) []Mat {
 					sub = o.rect
 				}
 				pieces = geom.SubtractAll(pieces, []geom.Rect{sub})
-			})
+			}
 			for _, pc := range pieces {
 				if pc.W() >= wc && pc.H() >= wc {
 					out = append(out, Mat{Kind: MatAssist, Pat: t.pat, Rect: pc})
@@ -134,32 +144,43 @@ func shapeSlab(ds rules.Set, f geom.Rect, horiz bool, span interval.Iv, tip bool
 	dcore := ds.DCore
 	drop := false
 	along := interval.NewSet(alongIv(f, horiz))
-	tix.query(f.Expand(dcore), func(oi int) {
+	// The trim below mutates `along` step by step, so the outcome depends
+	// on the order foreign cores are considered; canonicalize to target
+	// order (bucket-scan order tracks absolute coordinates).
+	var near []int
+	tix.query(f.Expand(dcore), func(oi int) { near = append(near, oi) })
+	sort.Ints(near)
+	for _, oi := range near {
 		o := ts[oi]
 		if o.color != Core || o.pat == ownPat {
-			return
+			continue
 		}
 		cur := setToRect(f, along, horiz)
 		if cur.Empty() {
-			return
+			continue
 		}
 		gap, positive := gapLinf(cur, o.rect)
 		if !positive || gap >= dcore {
-			return
+			continue
 		}
 		if tip {
 			drop = true
-			return
+			break
 		}
 		// Try trimming the along-extent to d_core clearance.
 		oa := alongIv(o.rect, horiz)
 		trial := along.Clone()
 		trial.Subtract(interval.Iv{Lo: oa.Lo - dcore, Hi: oa.Hi + dcore})
+		trimmed := false
 		for _, iv := range trial.Intervals() {
 			if iv.Lo <= span.Lo && iv.Hi >= span.Hi {
 				along = interval.NewSet(iv)
-				return
+				trimmed = true
+				break
 			}
+		}
+		if trimmed {
+			continue
 		}
 		// Full clearance is impossible. When the foreign core directly
 		// faces the protected span, drop the wrap-around overhang so the
@@ -173,7 +194,7 @@ func shapeSlab(ds rules.Set, f geom.Rect, horiz bool, span interval.Iv, tip bool
 				along = interval.NewSet(span)
 			}
 		}
-	})
+	}
 	if drop {
 		return geom.Rect{}, false
 	}

@@ -1,6 +1,10 @@
 package decomp
 
-import "sadproute/internal/geom"
+import (
+	"sort"
+
+	"sadproute/internal/geom"
+)
 
 // gapLinf returns the L-infinity clearance between two rects and whether
 // they are disjoint with a positive gap.
@@ -59,13 +63,6 @@ func (d *dsu) find(x int) int {
 
 func (d *dsu) union(a, b int) { d.p[d.find(a)] = d.find(b) }
 
-// grow extends the forest to n elements.
-func (d *dsu) grow(n int) {
-	for len(d.p) < n {
-		d.p = append(d.p, len(d.p))
-	}
-}
-
 // buildBridges realizes the merge technique: any two pieces of core-mask
 // material in different blobs closer than d_core cannot coexist on the core
 // mask, so they are merged; the merge material is removed by the cut mask,
@@ -81,12 +78,21 @@ func (d *dsu) grow(n int) {
 //     clearance instead (real decomposers sacrifice optional assist material
 //     before breaking a target).
 //
-// Bridging iterates until no blob pair remains within d_core.
+// Bridging iterates until no blob pair remains within d_core. Each iteration
+// resolves ALL close cross-blob pairs against a geometry snapshot taken at
+// its start: physically, every pair of mask features under d_core coalesces
+// (the merge is not a choice of spanning subset), and algorithmically no
+// decision ever observes a mid-iteration union or trim. The outcome is then
+// a function of the layout geometry alone — material enumeration order
+// (which tracks absolute coordinates) cannot influence the verdict, so
+// rigid transforms of the layout preserve it.
 func buildBridges(ly Layout, mats []Mat, ts []tgt, tix *rectIndex, res *Result) []Mat {
 	ds := ly.Rules
-	comp := newDSU(len(mats))
 	for iter := 0; iter < 6; iter++ {
-		comp.grow(len(mats))
+		// Connectivity is rebuilt from the actual geometry every iteration:
+		// a trim can pull an assist off material it used to touch, and a
+		// stale union would then hide the fresh sub-d_core gap forever.
+		comp := newDSU(len(mats))
 		ix := newRectIndex(indexCell(ly))
 		for i, m := range mats {
 			ix.add(i, m.Rect)
@@ -105,75 +111,139 @@ func buildBridges(ly Layout, mats []Mat, ts []tgt, tix *rectIndex, res *Result) 
 				}
 			})
 		}
-		var added []Mat
+
+		// Snapshot the geometry and collect every cross-blob pair closer
+		// than d_core. The pair set is determined by the snapshot, not by
+		// any processing order.
+		snap := make([]geom.Rect, len(mats))
 		for i := range mats {
-			a := mats[i]
-			if a.Rect.Empty() {
+			snap[i] = mats[i].Rect
+		}
+		type pair struct{ i, j int }
+		var pairs []pair
+		for i := range mats {
+			if snap[i].Empty() {
 				continue
 			}
-			ix.query(a.Rect.Expand(ds.DCore), func(j int) {
-				if j <= i {
+			ix.query(snap[i].Expand(ds.DCore), func(j int) {
+				if j <= i || snap[j].Empty() || comp.find(i) == comp.find(j) {
 					return
 				}
-				b := mats[j]
-				if b.Rect.Empty() || comp.find(i) == comp.find(j) {
-					return
+				if gap, positive := gapLinf(snap[i], snap[j]); positive && gap < ds.DCore {
+					pairs = append(pairs, pair{i, j})
 				}
-				gap, positive := gapLinf(a.Rect, b.Rect)
-				if !positive || gap >= ds.DCore {
-					return
-				}
-				br := bridgeRect(a.Rect, b.Rect)
-				// Diagonal pairs include the degenerate case where the two
-				// rects touch in one axis projection (zero-width cross):
-				// without special handling the bridge is empty and the pair
-				// would be marked merged while staying physically apart —
-				// two printed features under d_core. Widen the touch line
-				// to w_core so the connection is real.
-				corner := a.Rect.OverlapX(b.Rect) <= 0 && a.Rect.OverlapY(b.Rect) <= 0
-				if corner {
-					if br.X1 <= br.X0 {
-						br.X0, br.X1 = br.X0-ds.WCore/2, br.X0+ds.WCore/2
-					}
-					if br.Y1 <= br.Y0 {
-						br.Y0, br.Y1 = br.Y0-ds.WCore/2, br.Y0+ds.WCore/2
-					}
-					thick := br.Expand(ds.WCore)
-					switch {
-					case !bridgeCollision(ly, thick, a.Rect, b.Rect, ts, tix):
-						br = thick
-					case trimAssistPair(ds.DCore, ds.WCore, mats, i, j):
-						return // proximity resolved by trimming the assist
-					default:
-						// Fall back to the point-contact corner bridge: it
-						// lies entirely in the spacing cross, and core-mask
-						// MRC violations over spacer are waivable (Ma et
-						// al., cited in Section II-B). No overlay results.
-					}
-				} else {
-					reportBridge(ly, br, a.Rect, b.Rect, ts, tix, res)
-				}
-				if !br.Empty() {
-					added = append(added, Mat{Kind: MatBridge, Pat: -1, Rect: br})
-				}
-				comp.grow(len(mats) + len(added))
-				comp.union(i, j)
 			})
 		}
-		if len(added) == 0 {
+		sort.Slice(pairs, func(a, b int) bool {
+			if pairs[a].i != pairs[b].i {
+				return pairs[a].i < pairs[b].i
+			}
+			return pairs[a].j < pairs[b].j
+		})
+
+		// Widen the degenerate diagonal case where the two rects touch in
+		// one axis projection (zero-width cross): without this the bridge
+		// is empty and the pair would be marked merged while staying
+		// physically apart — two printed features under d_core.
+		cornerBridge := func(a, b geom.Rect) geom.Rect {
+			br := bridgeRect(a, b)
+			if br.X1 <= br.X0 {
+				br.X0, br.X1 = br.X0-ds.WCore/2, br.X0+ds.WCore/2
+			}
+			if br.Y1 <= br.Y0 {
+				br.Y0, br.Y1 = br.Y0-ds.WCore/2, br.Y0+ds.WCore/2
+			}
+			return br
+		}
+
+		var added []Mat
+		trimRect := map[int]geom.Rect{} // assist index -> intersected trim result
+		trimPend := map[int][]pair{}    // assist index -> pairs relying on that trim
+		for _, p := range pairs {
+			a, b := snap[p.i], snap[p.j]
+			var br geom.Rect
+			if a.OverlapX(b) <= 0 && a.OverlapY(b) <= 0 {
+				br = cornerBridge(a, b)
+				thick := br.Expand(ds.WCore)
+				switch nr, k, ok := trimRequest(ds.DCore, ds.WCore, mats, snap, p.i, p.j); {
+				case !bridgeCollision(ly, thick, a, b, ts, tix):
+					br = thick
+				case ok:
+					// Proximity resolvable by trimming the assist parent.
+					// Trims against several partners intersect — the
+					// intersection clears each of them and is commutative,
+					// so the request order is immaterial.
+					if cur, have := trimRect[k]; have {
+						nr = cur.Intersect(nr)
+					}
+					trimRect[k] = nr
+					trimPend[k] = append(trimPend[k], p)
+					continue
+				default:
+					// Fall back to the point-contact corner bridge: it
+					// lies entirely in the spacing cross, and core-mask
+					// MRC violations over spacer are waivable (Ma et
+					// al., cited in Section II-B). No overlay results.
+				}
+			} else {
+				br = bridgeRect(a, b)
+				reportBridge(ly, br, a, b, ts, tix, res)
+			}
+			if !br.Empty() {
+				added = append(added, Mat{Kind: MatBridge, Pat: -1, Rect: br})
+			}
+		}
+
+		// Apply trims whose intersected result still meets the core
+		// minimum; pairs whose trim collapsed revert to point-contact
+		// bridges (real decomposers sacrifice optional assist material
+		// before breaking a target).
+		tks := make([]int, 0, len(trimRect))
+		for k := range trimRect {
+			tks = append(tks, k)
+		}
+		sort.Ints(tks)
+		trimmed := false
+		for _, k := range tks {
+			nr := trimRect[k]
+			if !nr.Empty() && nr.W() >= ds.WCore && nr.H() >= ds.WCore {
+				mats[k].Rect = nr
+				trimmed = true
+				continue
+			}
+			for _, p := range trimPend[k] {
+				added = append(added, Mat{Kind: MatBridge, Pat: -1, Rect: cornerBridge(snap[p.i], snap[p.j])})
+			}
+		}
+
+		// A trim-only iteration is not a fixed point: the trim may have
+		// opened a sub-d_core gap to formerly-touching material, which the
+		// next iteration's rebuilt connectivity will catch and bridge.
+		if len(added) == 0 && !trimmed {
 			break
 		}
-		base := len(mats)
 		mats = append(mats, added...)
-		comp.grow(len(mats))
-		// A bridge belongs to the blob it connects.
-		for k := base; k < len(mats); k++ {
-			comp.union(k, k) // ensure slot exists; adjacency unite happens next iter
-		}
 	}
-	// Count the surviving mask blobs (distinct components over non-empty
-	// material) for the observability snapshot.
-	comp.grow(len(mats))
+	// Count the surviving mask blobs (distinct touching-components over
+	// non-empty material) for the observability snapshot.
+	comp := newDSU(len(mats))
+	ix := newRectIndex(indexCell(ly))
+	for i, m := range mats {
+		ix.add(i, m.Rect)
+	}
+	for i := range mats {
+		if mats[i].Rect.Empty() {
+			continue
+		}
+		ix.query(mats[i].Rect.Expand(1), func(j int) {
+			if j <= i || mats[j].Rect.Empty() {
+				return
+			}
+			if _, positive := gapLinf(mats[i].Rect, mats[j].Rect); !positive {
+				comp.union(i, j)
+			}
+		})
+	}
 	roots := map[int]bool{}
 	for i := range mats {
 		if !mats[i].Rect.Empty() {
@@ -226,24 +296,25 @@ func reportBridge(ly Layout, br, pa, pb geom.Rect, ts []tgt, tix *rectIndex, res
 	})
 }
 
-// trimAssistPair tries to pull one assistant-core parent of a corner pair
-// back to d_core clearance, shrinking along whichever axis preserves the
-// core minimum width. It mutates mats in place and reports success.
-func trimAssistPair(dcore, wc int, mats []Mat, i, j int) bool {
+// trimRequest tries to pull one assistant-core parent of a corner pair back
+// to d_core clearance from the other, computing against the snapshot
+// geometry. When both parents are trimmable assists it keeps the one that
+// retains the most material — an orientation-free criterion, so mirrored
+// layouts make the mirrored choice.
+func trimRequest(dcore, wc int, mats []Mat, snap []geom.Rect, i, j int) (geom.Rect, int, bool) {
+	best, bk, ok := geom.Rect{}, 0, false
 	for _, k := range [2]int{i, j} {
-		o := j
-		if k == j {
-			o = i
-		}
+		o := i + j - k
 		if mats[k].Kind != MatAssist {
 			continue
 		}
-		if nr, ok := trimAway(mats[k].Rect, mats[o].Rect, dcore, wc); ok {
-			mats[k].Rect = nr
-			return true
+		if nr, got := trimAway(snap[k], snap[o], dcore, wc); got {
+			if !ok || nr.Area() > best.Area() {
+				best, bk, ok = nr, k, true
+			}
 		}
 	}
-	return false
+	return best, bk, ok
 }
 
 // trimAway shrinks rect a away from rect b until their gap along one axis

@@ -1,0 +1,139 @@
+package drc_test
+
+import (
+	"testing"
+
+	"sadproute/internal/bench"
+	"sadproute/internal/decomp"
+	"sadproute/internal/drc"
+	"sadproute/internal/geom"
+	"sadproute/internal/router"
+)
+
+// The metamorphic suite mirrors the one in internal/decomp, but aimed at
+// the verifier: CheckLayer's verdict is a property of the layer's shape,
+// so rigid transforms of the verifier INPUT — translation by whole pitches
+// and the track-aligned horizontal mirror — must not change it. The
+// verifier's stripe index and scan loops are all coordinate-driven, which
+// makes these transforms sharp detectors of origin or left/right bias, and
+// the check is fully independent of the oracle's own equivariance.
+
+// drcVerdict is the transform-invariant signature of a layer report.
+type drcVerdict struct {
+	SideNM, TipNM  int
+	Hard, Conf     int
+	Viol, Bad, Err int
+}
+
+func drcVerdictOf(lr *drc.LayerReport) drcVerdict {
+	return drcVerdict{
+		SideNM: lr.SideOverlayNM,
+		TipNM:  lr.TipOverlayNM,
+		Hard:   lr.HardOverlays,
+		Conf:   lr.Conflicts,
+		Viol:   len(lr.Violations),
+		Bad:    len(lr.BadNets),
+		Err:    len(lr.RuleErrs),
+	}
+}
+
+// mapLayer applies a rect transform to every piece of geometry in a layer.
+func mapLayer(ly drc.Layer, f func(geom.Rect) geom.Rect) drc.Layer {
+	out := ly
+	out.Die = f(ly.Die)
+	out.Targets = make([]drc.Target, len(ly.Targets))
+	for i, tg := range ly.Targets {
+		q := tg
+		q.Rects = make([]geom.Rect, len(tg.Rects))
+		for j, r := range tg.Rects {
+			q.Rects[j] = f(r)
+		}
+		out.Targets[i] = q
+	}
+	out.Extra = make([]geom.Rect, len(ly.Extra))
+	for i, r := range ly.Extra {
+		out.Extra[i] = f(r)
+	}
+	return out
+}
+
+func translateDRC(ly drc.Layer, dx, dy int) drc.Layer {
+	d := geom.Pt{X: dx, Y: dy}
+	return mapLayer(ly, func(r geom.Rect) geom.Rect { return r.Translate(d) })
+}
+
+// mirrorDRC reflects the layer about the vertical axis that maps routing
+// track x onto track W-1-x (see internal/decomp's metamorphic suite for
+// the derivation of the axis).
+func mirrorDRC(ly drc.Layer) drc.Layer {
+	s := ly.Die.X0 + ly.Die.X1 - ds.Pitch() + ds.WLine
+	return mapLayer(ly, func(r geom.Rect) geom.Rect {
+		return geom.Rect{X0: s - r.X1, Y0: r.Y0, X1: s - r.X0, Y1: r.Y1}
+	})
+}
+
+// metamorphicDRCLayers routes two small benchmarks and converts every
+// non-empty layout into verifier input, both in cut-process form (with the
+// oracle's synthesized material to exercise the material legality checks)
+// and trim-process form.
+func metamorphicDRCLayers(t *testing.T) []drc.Layer {
+	t.Helper()
+	specs := []bench.Spec{
+		{Name: "drcMetaA", Nets: 90, Tracks: 40, Layers: 3, Seed: 401, PinCandidates: 1, AvgHPWL: 5, Blockages: 2},
+		{Name: "drcMetaB", Nets: 70, Tracks: 36, Layers: 3, Seed: 402, PinCandidates: 2, AvgHPWL: 6, Blockages: 1},
+	}
+	var out []drc.Layer
+	for _, sp := range specs {
+		res := router.Route(bench.Generate(sp), ds, router.Defaults())
+		if res.Routed == 0 {
+			t.Fatalf("%s: routed nothing", sp.Name)
+		}
+		for _, ly := range res.Layouts() {
+			if len(ly.Pats) == 0 {
+				continue
+			}
+			out = append(out, drc.FromDecomp(ly, decomp.DecomposeCut(ly).Materials))
+			out = append(out, drc.FromTrim(ly))
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no layers generated")
+	}
+	return out
+}
+
+// TestDRCTranslationInvariance: translating the verifier input by whole
+// routing pitches preserves the verdict.
+func TestDRCTranslationInvariance(t *testing.T) {
+	p := ds.Pitch()
+	offsets := []geom.Pt{{X: p, Y: -2 * p}, {X: -100 * p, Y: 100 * p}, {X: 3 * p, Y: p}}
+	for i, ly := range metamorphicDRCLayers(t) {
+		base := drcVerdictOf(drc.CheckLayer(ly, ds))
+		for _, d := range offsets {
+			got := drcVerdictOf(drc.CheckLayer(translateDRC(ly, d.X, d.Y), ds))
+			if got != base {
+				t.Errorf("layer %d (trim=%v) translate %v: verdict changed\nbase: %+v\ngot:  %+v",
+					i, ly.Trim, d, base, got)
+			}
+		}
+	}
+}
+
+// TestDRCMirrorInvariance: the track-aligned horizontal mirror preserves
+// the verdict, and mirroring twice reproduces it exactly (involution).
+func TestDRCMirrorInvariance(t *testing.T) {
+	for i, ly := range metamorphicDRCLayers(t) {
+		base := drcVerdictOf(drc.CheckLayer(ly, ds))
+		m := mirrorDRC(ly)
+		got := drcVerdictOf(drc.CheckLayer(m, ds))
+		if got != base {
+			t.Errorf("layer %d (trim=%v) mirror: verdict changed\nbase: %+v\ngot:  %+v",
+				i, ly.Trim, base, got)
+		}
+		back := drcVerdictOf(drc.CheckLayer(mirrorDRC(m), ds))
+		if back != base {
+			t.Errorf("layer %d (trim=%v) double-mirror: verdict changed\nbase: %+v\ngot:  %+v",
+				i, ly.Trim, base, back)
+		}
+	}
+}

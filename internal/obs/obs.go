@@ -71,6 +71,15 @@ const (
 	CtrDecompBridges
 	CtrDecompAssists
 	CtrDecompOverlayFrags
+	// Intra-instance parallel net scheduler (internal/sched, driven by
+	// router.Options.NetWorkers). These counters exist only in parallel
+	// runs; equivalence tests comparing parallel vs serial results zero
+	// them before diffing snapshots (every other counter is byte-identical
+	// by construction).
+	CtrSchedWaves
+	CtrSchedSpecSearches
+	CtrSchedSpecHits
+	CtrSchedSpecRetries
 
 	numCounters
 )
@@ -101,6 +110,10 @@ var counterNames = [numCounters]string{
 	CtrDecompBridges:      "decomp.bridges",
 	CtrDecompAssists:      "decomp.assists",
 	CtrDecompOverlayFrags: "decomp.overlay_frags",
+	CtrSchedWaves:         "sched.waves",
+	CtrSchedSpecSearches:  "sched.spec_searches",
+	CtrSchedSpecHits:      "sched.spec_hits",
+	CtrSchedSpecRetries:   "sched.spec_retries",
 }
 
 func (c CounterID) String() string {
@@ -143,18 +156,31 @@ const (
 	StageDecompose
 	StageEvaluate
 	StageTotal
+	// Intra-instance parallel routing (internal/sched). StageSpeculate is
+	// the wall time of the concurrent speculation phases (nested inside
+	// StageRoute); StageSpecSerial sums the individual speculative-search
+	// durations (their cost if run back to back); StageSpecMakespan is the
+	// LPT-scheduled makespan of those searches across NetWorkers engines —
+	// on a single-core box, wall - (serial - makespan) estimates the
+	// multi-core critical path (see EXPERIMENTS.md).
+	StageSpeculate
+	StageSpecSerial
+	StageSpecMakespan
 
 	numStages
 )
 
 var stageNames = [numStages]string{
-	StageRoute:       "route",
-	StageWindowCheck: "window_check",
-	StageColorFlip:   "color_flip",
-	StageFinalRepair: "final_repair",
-	StageDecompose:   "decompose",
-	StageEvaluate:    "evaluate",
-	StageTotal:       "total",
+	StageRoute:        "route",
+	StageWindowCheck:  "window_check",
+	StageColorFlip:    "color_flip",
+	StageFinalRepair:  "final_repair",
+	StageDecompose:    "decompose",
+	StageEvaluate:     "evaluate",
+	StageTotal:        "total",
+	StageSpeculate:    "speculate",
+	StageSpecSerial:   "spec_serial",
+	StageSpecMakespan: "spec_makespan",
 }
 
 func (s StageID) String() string {

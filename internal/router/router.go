@@ -21,6 +21,7 @@ import (
 	"sadproute/internal/ocg"
 	"sadproute/internal/rules"
 	"sadproute/internal/scenario"
+	"sadproute/internal/sched"
 )
 
 // Options are the user-defined parameters of the algorithm. The zero value
@@ -53,6 +54,13 @@ type Options struct {
 	DirPenalty int
 	// MaxExpand bounds A* node expansions per attempt (0 = unbounded).
 	MaxExpand int
+	// NetWorkers >= 2 routes waves of mutually independent nets with that
+	// many concurrent first-search workers (internal/sched). The result —
+	// paths, colors, counters, traces — is byte-identical to the serial
+	// router by construction: speculative searches are validated against
+	// the cells actually mutated since the wave froze and re-run serially
+	// at their canonical slot when stale. 0 or 1 routes serially.
+	NetWorkers int
 	// DebugWindow logs each failed window-resolve attempt (net, layer,
 	// badness before/after, component size) through the observability
 	// recorder's debug writer (standard error unless redirected via
@@ -153,6 +161,12 @@ type state struct {
 	// for rerouting.
 	blockerBudget int
 	pending       []int
+	// Speculative-routing state, live only inside routeWaves (NetWorkers
+	// >= 2): dirty records the cells mutated since the current wave's grid
+	// snapshot, spec holds the wave's unconsumed concurrent first searches.
+	// Both are nil in serial runs; DirtySet methods are nil-safe.
+	dirty *sched.DirtySet
+	spec  map[int]*specResult
 }
 
 // Route runs the overlay-aware detailed router on a netlist.
@@ -205,8 +219,12 @@ func Route(nl *netlist.Netlist, ds rules.Set, opt Options) *Result {
 
 	st.blockerBudget = len(nl.Nets) / 2
 	stopRoute := rec.Span(obs.StageRoute)
-	for _, id := range order {
-		st.routeNet(id)
+	if opt.NetWorkers > 1 && len(order) > 1 {
+		st.routeWaves(order)
+	} else {
+		for _, id := range order {
+			st.routeNet(id)
+		}
 	}
 	// Reroute nets that were ripped up to free resources.
 	for len(st.pending) > 0 {
@@ -333,6 +351,8 @@ func (st *state) routeNet(id int) {
 			}
 			return
 		}
+		st.dirty.MarkCells(path)
+		st.dirty.MarkCells(hot)
 		for _, c := range path {
 			st.pen[c] += 2 * st.opt.Alpha * astar.Scale
 		}
@@ -354,8 +374,22 @@ func (st *state) ripupBlocker(b, id int) {
 	st.pending = append(st.pending, b)
 }
 
-// search runs overlay-aware A* (eq. (5)).
+// search runs overlay-aware A* (eq. (5)). Under routeWaves a validated
+// speculative result — computed by a concurrent worker against the very
+// grid and penalty state this call would read — substitutes for the
+// search; the serial engine runs otherwise.
 func (st *state) search(id int, n netlist.Net) ([]grid.Cell, bool) {
+	if sp, ok := st.takeSpec(id); ok {
+		return sp.path, sp.ok
+	}
+	cfg := st.searchCfg(id, n)
+	return st.eng.Search(int32(id), n.A.Candidates, n.B.Candidates, cfg)
+}
+
+// searchCfg builds the A* configuration of a net's first search; shared
+// by the serial path and the speculative workers so both price steps
+// identically.
+func (st *state) searchCfg(id int, n netlist.Net) astar.Config {
 	pins := make(map[grid.Cell]bool, len(n.A.Candidates)+len(n.B.Candidates))
 	for _, c := range n.A.Candidates {
 		pins[c] = true
@@ -363,13 +397,12 @@ func (st *state) search(id int, n netlist.Net) ([]grid.Cell, bool) {
 	for _, c := range n.B.Candidates {
 		pins[c] = true
 	}
-	cfg := astar.Config{
+	return astar.Config{
 		WL:        st.opt.Alpha,
 		Via:       st.opt.Beta,
 		MaxExpand: st.opt.MaxExpand,
 		Step:      st.stepCost(int32(id), pins),
 	}
-	return st.eng.Search(int32(id), n.A.Candidates, n.B.Candidates, cfg)
 }
 
 // hotOwners returns the routed nets occupying the conflict hot cells (and
@@ -458,6 +491,7 @@ func (st *state) stepCost(id int32, pins map[grid.Cell]bool) astar.StepCost {
 
 // commit occupies the path and registers fragments.
 func (st *state) commit(id int, path []grid.Cell) {
+	st.dirty.MarkCells(path)
 	for _, c := range path {
 		st.g.Occupy(c, int32(id))
 	}
@@ -476,6 +510,7 @@ func (st *state) commit(id int, path []grid.Cell) {
 
 // ripup releases a net's cells, fragments, graph edges and colors.
 func (st *state) ripup(id int) {
+	st.dirty.MarkCells(st.res.Paths[id])
 	for _, c := range st.res.Paths[id] {
 		st.g.Release(c)
 	}

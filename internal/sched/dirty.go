@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"sadproute/internal/geom"
+	"sadproute/internal/grid"
+)
+
+// DirtySet records the XY positions of every grid cell mutated during a
+// wave's commit phase (path commits, rip-ups, penalty inflation). A
+// speculative search result is valid at its commit slot iff its read
+// region contains no dirty cell: then the serial first search would have
+// read exactly the same state and computed exactly the same path.
+//
+// Layers are ignored — a mutation on any layer dirties the XY position —
+// which is conservative (may force a redundant re-search) but never
+// unsound. All methods are nil-safe no-ops, so the serial router passes a
+// nil *DirtySet and pays nothing.
+type DirtySet struct {
+	cells []geom.Pt
+	bbox  geom.Rect // union of cells; valid when len(cells) > 0
+}
+
+// MarkCells records the XY positions of cells as mutated.
+func (d *DirtySet) MarkCells(cells []grid.Cell) {
+	if d == nil {
+		return
+	}
+	for _, c := range cells {
+		p := geom.Pt{X: c.X, Y: c.Y}
+		if len(d.cells) == 0 {
+			d.bbox = geom.Rect{X0: p.X, Y0: p.Y, X1: p.X + 1, Y1: p.Y + 1}
+		} else {
+			d.bbox = d.bbox.Union(geom.Rect{X0: p.X, Y0: p.Y, X1: p.X + 1, Y1: p.Y + 1})
+		}
+		d.cells = append(d.cells, p)
+	}
+}
+
+// Intersects reports whether any dirty cell lies inside r.
+func (d *DirtySet) Intersects(r geom.Rect) bool {
+	if d == nil || len(d.cells) == 0 || !d.bbox.Intersects(r) {
+		return false
+	}
+	for _, p := range d.cells {
+		if r.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of recorded mutations (cells may repeat).
+func (d *DirtySet) Len() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.cells)
+}
+
+// Reset empties the set for the next wave, keeping the backing storage.
+func (d *DirtySet) Reset() {
+	if d == nil {
+		return
+	}
+	d.cells = d.cells[:0]
+}

@@ -1,0 +1,45 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes fn(worker, i) for every i in [0, n) across at most
+// `workers` goroutines and returns when all calls have finished. worker
+// identifies the executing slot in [0, workers) so callers can hand each
+// goroutine its own pooled resources (one astar.Engine per slot). Work is
+// handed out through an atomic counter, so which worker runs which index
+// is scheduler-dependent — fn must write only to per-index state, which
+// makes the overall result deterministic regardless of worker count or
+// interleaving.
+func Run(n, workers int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

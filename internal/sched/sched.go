@@ -1,0 +1,134 @@
+// Package sched is the deterministic intra-instance parallel net
+// scheduler behind router.Options.NetWorkers — infrastructure for the
+// parallelism story rather than a paper section. It routes independent
+// nets concurrently on ONE grid while guaranteeing the final layout is
+// byte-identical to the serial run, with three pieces:
+//
+//   - Waves partitions the router's canonical net order into consecutive
+//     fixed-size blocks and, within each block, selects the greedy
+//     maximal subset of nets whose dilated bounding boxes are pairwise
+//     disjoint. The subset's first A* searches can run concurrently
+//     against the grid frozen at the wave boundary; the block's other
+//     nets route serially in their canonical slot.
+//   - Run fans a wave across a bounded worker pool; results land in
+//     per-index slots, so worker count never influences outcomes.
+//   - DirtySet records every grid cell the commit phase mutates. A
+//     speculative search survives to commit only if its read region
+//     (astar.Engine.ReadBBox) contains no dirty cell — otherwise the
+//     conflict relation was optimistic and the net re-searches serially
+//     in its canonical slot. Equivalence to the serial router therefore
+//     holds by construction, not by the accuracy of the heuristic.
+//
+// The conflict relation is heuristic (searches may wander beyond any
+// fixed halo); the DirtySet validation is the correctness argument. The
+// wave structure is a pure function of the net order and the boxes —
+// never of the worker count — so every NetWorkers >= 2 value produces
+// the identical schedule, commits, and observability counters.
+package sched
+
+import "sadproute/internal/geom"
+
+// DefaultMaxWave is the block size of the wave partition: how many nets
+// of the canonical order one wave covers, and therefore the lookahead
+// window the speculated subset is drawn from. The cap is a constant (not
+// scaled by worker count) so the wave structure — and with it every
+// sched.* counter — is identical for any NetWorkers >= 2.
+const DefaultMaxWave = 64
+
+// Wave is one block of the canonical net order. Nets is the consecutive
+// run of the order the wave covers — concatenating Nets over all waves
+// reproduces the order unchanged, which is the canonical-commit-order
+// guarantee. Spec is the subset of Nets whose first A* searches are
+// speculated concurrently against the grid frozen at the wave boundary:
+// scanning Nets in order, a net joins Spec when its conflict box is
+// disjoint from every box already in Spec (greedy maximal independent
+// prefix). Nets outside Spec route serially in their canonical slot,
+// exactly as in the serial router.
+type Wave struct {
+	Nets []int
+	Spec []int
+}
+
+// Waves cuts order into consecutive blocks of maxWave nets (DefaultMaxWave
+// when maxWave <= 0) and selects each block's speculation subset.
+//
+// box(id) is the net's dilated XY bounding box in cell coordinates; two
+// nets conflict when their boxes intersect. Layers are ignored: every net
+// may route on every layer, so XY separation is the only independence
+// the relation can promise. The relation is a precision heuristic only —
+// a speculated search invalidated by an earlier commit is caught by the
+// DirtySet validation and re-run serially, never miscommitted.
+func Waves(order []int, box func(id int) geom.Rect, maxWave int) []Wave {
+	if maxWave <= 0 {
+		maxWave = DefaultMaxWave
+	}
+	var waves []Wave
+	for start := 0; start < len(order); start += maxWave {
+		end := start + maxWave
+		if end > len(order) {
+			end = len(order)
+		}
+		nets := order[start:end:end]
+		spec := make([]int, 0, len(nets))
+		boxes := make([]geom.Rect, 0, len(nets))
+		for _, id := range nets {
+			nb := box(id)
+			ok := true
+			for _, sb := range boxes {
+				if nb.Intersects(sb) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				spec = append(spec, id)
+				boxes = append(boxes, nb)
+			}
+		}
+		waves = append(waves, Wave{Nets: nets, Spec: spec})
+	}
+	return waves
+}
+
+// Makespan returns the completion time of scheduling the given task
+// durations on `workers` identical machines with the LPT (longest
+// processing time first) greedy rule — the hypothetical wall time of one
+// wave's speculative searches on a machine with that many free cores.
+// Reporting-only: the value feeds stage timers, never routing decisions.
+func Makespan(durations []int64, workers int) int64 {
+	if len(durations) == 0 {
+		return 0
+	}
+	if workers <= 1 {
+		var sum int64
+		for _, d := range durations {
+			sum += d
+		}
+		return sum
+	}
+	sorted := make([]int64, len(durations))
+	copy(sorted, durations)
+	// Insertion sort, descending; waves are small (<= DefaultMaxWave).
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] > sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	bins := make([]int64, workers)
+	for _, d := range sorted {
+		least := 0
+		for b := 1; b < len(bins); b++ {
+			if bins[b] < bins[least] {
+				least = b
+			}
+		}
+		bins[least] += d
+	}
+	var max int64
+	for _, b := range bins {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}

@@ -1,0 +1,206 @@
+package sched
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"sadproute/internal/geom"
+	"sadproute/internal/grid"
+)
+
+// boxesFor builds a deterministic pseudo-random box per id.
+func boxesFor(n int, seed int64) func(int) geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	boxes := make([]geom.Rect, n)
+	for i := range boxes {
+		x, y := rng.Intn(80), rng.Intn(80)
+		boxes[i] = geom.Rect{X0: x, Y0: y, X1: x + 4 + rng.Intn(20), Y1: y + 4 + rng.Intn(20)}
+	}
+	return func(id int) geom.Rect { return boxes[id] }
+}
+
+// TestWavesPartition: concatenating the waves' Nets reproduces the order
+// unchanged (the commit phase walks waves in place, so this IS the
+// canonical-commit-order guarantee), every wave respects the block size,
+// the Spec subset is an in-order subsequence of Nets with pairwise
+// disjoint boxes, and Spec is greedy-maximal: every net left out of Spec
+// intersects some Spec member selected before it.
+func TestWavesPartition(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 65, 200} {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = n - 1 - i // any permutation; descending is fine
+		}
+		box := boxesFor(n, int64(n)+1)
+		for _, cap := range []int{0, 1, 3, DefaultMaxWave} {
+			waves := Waves(order, box, cap)
+			want := cap
+			if want <= 0 {
+				want = DefaultMaxWave
+			}
+			var flat []int
+			for _, w := range waves {
+				if len(w.Nets) == 0 {
+					t.Fatalf("n=%d cap=%d: empty wave", n, cap)
+				}
+				if len(w.Nets) > want {
+					t.Fatalf("n=%d cap=%d: wave of %d exceeds block size %d", n, cap, len(w.Nets), want)
+				}
+				if len(w.Spec) == 0 || len(w.Spec) > len(w.Nets) {
+					t.Fatalf("n=%d cap=%d: Spec size %d for wave of %d", n, cap, len(w.Spec), len(w.Nets))
+				}
+				for i := 0; i < len(w.Spec); i++ {
+					for j := i + 1; j < len(w.Spec); j++ {
+						if box(w.Spec[i]).Intersects(box(w.Spec[j])) {
+							t.Fatalf("n=%d cap=%d: nets %d and %d share a Spec with intersecting boxes", n, cap, w.Spec[i], w.Spec[j])
+						}
+					}
+				}
+				// Spec is an in-order subsequence of Nets, and every net
+				// skipped before a given position intersects an earlier
+				// Spec member (greedy maximality).
+				si := 0
+				for _, id := range w.Nets {
+					if si < len(w.Spec) && w.Spec[si] == id {
+						si++
+						continue
+					}
+					hit := false
+					for _, s := range w.Spec[:si] {
+						if box(id).Intersects(box(s)) {
+							hit = true
+							break
+						}
+					}
+					if !hit {
+						t.Fatalf("n=%d cap=%d: net %d skipped from Spec without a conflict", n, cap, id)
+					}
+				}
+				if si != len(w.Spec) {
+					t.Fatalf("n=%d cap=%d: Spec is not an in-order subsequence of Nets", n, cap)
+				}
+				flat = append(flat, w.Nets...)
+			}
+			if len(flat) != len(order) {
+				t.Fatalf("n=%d cap=%d: waves cover %d of %d nets", n, cap, len(flat), len(order))
+			}
+			for i := range flat {
+				if flat[i] != order[i] {
+					t.Fatalf("n=%d cap=%d: concatenated waves reorder nets at %d: got %d want %d", n, cap, i, flat[i], order[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWavesWorkerIndependence: the wave structure is a pure function of
+// order and boxes — recomputing it must give identical waves (there is no
+// worker-count input at all, which is the stronger property).
+func TestWavesWorkerIndependence(t *testing.T) {
+	order := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	box := boxesFor(10, 42)
+	a := Waves(order, box, 0)
+	b := Waves(order, box, 0)
+	if len(a) != len(b) {
+		t.Fatalf("wave count differs between identical calls: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i].Nets) != len(b[i].Nets) || len(a[i].Spec) != len(b[i].Spec) {
+			t.Fatalf("wave %d shape differs", i)
+		}
+	}
+}
+
+func TestMakespanBounds(t *testing.T) {
+	durs := []int64{7, 3, 9, 1, 4, 4, 2}
+	var sum, max int64
+	for _, d := range durs {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	if got := Makespan(nil, 4); got != 0 {
+		t.Fatalf("empty makespan = %d, want 0", got)
+	}
+	if got := Makespan(durs, 1); got != sum {
+		t.Fatalf("1-worker makespan = %d, want sum %d", got, sum)
+	}
+	for _, w := range []int{2, 3, 4, len(durs), len(durs) + 5} {
+		got := Makespan(durs, w)
+		if got < max || got > sum {
+			t.Fatalf("%d-worker makespan %d outside [max=%d, sum=%d]", w, got, max, sum)
+		}
+	}
+	if got := Makespan(durs, len(durs)); got != max {
+		t.Fatalf("fully parallel makespan = %d, want max %d", got, max)
+	}
+}
+
+func TestDirtySet(t *testing.T) {
+	var d DirtySet
+	if d.Len() != 0 {
+		t.Fatal("fresh set not empty")
+	}
+	if d.Intersects(geom.Rect{X0: 0, Y0: 0, X1: 100, Y1: 100}) {
+		t.Fatal("empty set intersects")
+	}
+	d.MarkCells([]grid.Cell{{X: 5, Y: 7, L: 0}, {X: 20, Y: 3, L: 2}})
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	// Layer is intentionally ignored: the set is conservative in XY.
+	if !d.Intersects(geom.Rect{X0: 5, Y0: 7, X1: 6, Y1: 8}) {
+		t.Fatal("marked cell not detected")
+	}
+	if d.Intersects(geom.Rect{X0: 6, Y0: 7, X1: 20, Y1: 8}) {
+		t.Fatal("false positive between marked cells")
+	}
+	// The bbox prefilter must not produce false positives inside the hull.
+	if d.Intersects(geom.Rect{X0: 10, Y0: 5, X1: 12, Y1: 6}) {
+		t.Fatal("bbox prefilter leaked a non-dirty cell")
+	}
+	d.Reset()
+	if d.Len() != 0 || d.Intersects(geom.Rect{X0: 0, Y0: 0, X1: 100, Y1: 100}) {
+		t.Fatal("Reset did not clear the set")
+	}
+	// nil receiver is a no-op recorder (serial mode).
+	var nilSet *DirtySet
+	nilSet.MarkCells([]grid.Cell{{X: 1, Y: 1}})
+	if nilSet.Len() != 0 || nilSet.Intersects(geom.Rect{X0: 0, Y0: 0, X1: 10, Y1: 10}) {
+		t.Fatal("nil DirtySet must ignore marks and intersect nothing")
+	}
+}
+
+func TestRunCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		for _, n := range []int{0, 1, 5, 33} {
+			var hit = make([]atomic.Int32, n)
+			var concurrent, peak atomic.Int32
+			Run(n, workers, func(worker, i int) {
+				c := concurrent.Add(1)
+				for {
+					p := peak.Load()
+					if c <= p || peak.CompareAndSwap(p, c) {
+						break
+					}
+				}
+				hit[i].Add(1)
+				concurrent.Add(-1)
+			})
+			for i := range hit {
+				if got := hit[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+			limit := int32(workers)
+			if limit < 1 {
+				limit = 1
+			}
+			if n > 0 && peak.Load() > limit {
+				t.Fatalf("workers=%d n=%d: %d tasks ran concurrently", workers, n, peak.Load())
+			}
+		}
+	}
+}
