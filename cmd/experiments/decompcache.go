@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"sadproute/internal/bench"
+	"sadproute/internal/obs"
+	"sadproute/internal/router"
+	"sadproute/internal/rules"
+)
+
+// decompcache measures the decomposition memo cache on the largest
+// benchmark of the chosen scale: one routing run with the cache off, one
+// with it on, strictly one at a time so the stage wall clocks are not
+// polluted by sibling cells. For each run it reports the window-check and
+// final-repair stage wall times, the oracle-run and cache counters, the
+// hit rate, and — the property the tentpole guarantees — whether the
+// result is byte-identical to the uncached run.
+//
+// The fingerprint zeroes the whole decomp.* counter family: a cache hit
+// returns the stored Result without re-running the oracle, so the work
+// counters (decompositions, blobs, bridges, assists, overlay fragments)
+// legitimately differ between the two runs. Everything else — route
+// shape, wirelength, decomposition totals, every other counter — must
+// match exactly.
+func decompcache(ds rules.Set, scale string) (string, error) {
+	specs := specsFor(scale, true)
+	sp := specs[len(specs)-1]
+
+	type runRow struct {
+		cached               bool
+		window, repair, eval time.Duration
+		oracleRuns           int64
+		hits, misses, evicts int64
+		fingerprint          string
+	}
+
+	route := func(cached bool) runRow {
+		nl := bench.Generate(sp)
+		opt := router.Defaults()
+		opt.DecompCache = cached
+		rec := obs.New()
+		opt.Obs = rec
+		res := router.Route(nl, ds, opt)
+		stopEval := rec.Span(obs.StageEvaluate)
+		_, tot := res.DecomposeLayersR(rec)
+		stopEval()
+		snap := rec.Snapshot()
+		for c := range snap.Counters {
+			if strings.HasPrefix(obs.CounterID(c).String(), "decomp.") {
+				snap.Counters[c] = 0
+			}
+		}
+		var fp bytes.Buffer
+		fmt.Fprintf(&fp, "routed=%d failed=%d wl=%d vias=%d paths=%v\ntotals=%+v\n",
+			res.Routed, res.Failed, res.WirelengthCells, res.Vias, res.Paths, tot)
+		fp.WriteString(snap.CountersString())
+		s := rec.Snapshot()
+		return runRow{
+			cached:      cached,
+			window:      time.Duration(s.StageNS[obs.StageWindowCheck]),
+			repair:      time.Duration(s.StageNS[obs.StageFinalRepair]),
+			eval:        time.Duration(s.StageNS[obs.StageEvaluate]),
+			oracleRuns:  s.Counter(obs.CtrDecompositions),
+			hits:        s.Counter(obs.CtrDecompCacheHits),
+			misses:      s.Counter(obs.CtrDecompCacheMisses),
+			evicts:      s.Counter(obs.CtrDecompCacheEvictions),
+			fingerprint: fp.String(),
+		}
+	}
+
+	off := route(false)
+	on := route(true)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "decompcache — content-addressed decomposition memo (%s, %d nets, one run at a time)\n\n",
+		sp.Name, sp.Nets)
+	fmt.Fprintf(&b, "%8s %12s %12s %10s %10s %8s %8s %8s %8s %10s\n",
+		"cache", "window(s)", "repair(s)", "eval(s)", "oracle#", "hits", "misses", "evicts", "hit%", "identical")
+	for _, r := range []runRow{off, on} {
+		state := "off"
+		if r.cached {
+			state = "on"
+		}
+		hitPct := 0.0
+		if r.hits+r.misses > 0 {
+			hitPct = 100 * float64(r.hits) / float64(r.hits+r.misses)
+		}
+		ident := "yes"
+		if r.fingerprint != off.fingerprint {
+			ident = "NO"
+		}
+		fmt.Fprintf(&b, "%8s %12.3f %12.3f %10.3f %10d %8d %8d %8d %7.1f%% %10s\n",
+			state, r.window.Seconds(), r.repair.Seconds(), r.eval.Seconds(),
+			r.oracleRuns, r.hits, r.misses, r.evicts, hitPct, ident)
+	}
+	b.WriteString("\noracle# counts real decomposition runs; with the cache on, hits answer without one.\n")
+	b.WriteString("identical compares route shape, oracle totals and all non-decomp counters to the uncached run.\n")
+	if on.fingerprint != off.fingerprint {
+		return b.String(), fmt.Errorf("decompcache: cached result diverges from uncached run")
+	}
+	return b.String(), nil
+}

@@ -9,6 +9,7 @@
 //	experiments -which appendix               # Figs. 24-34 enumeration
 //	experiments -which ablation               # design-choice ablations
 //	experiments -which stages                 # per-stage timing breakdown
+//	experiments -which decompcache            # decomposition memo on/off
 //
 // -scale small shrinks the benchmark sizes for quick runs; -scale paper
 // uses the paper's 1.5k-28k-net sizes; -scale tiny is the CI smoke size.
@@ -48,12 +49,13 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		which  = fs.String("which", "table2", "comma list: table2,table3,table4,fig20,fig21,fig22,stages,netpar,golden,appendix,ablation,all")
+		which  = fs.String("which", "table2", "comma list: table2,table3,table4,fig20,fig21,fig22,stages,netpar,decompcache,golden,appendix,ablation,all")
 		scale  = fs.String("scale", "small", "benchmark scale: tiny | small | medium | paper")
 		outDir = fs.String("out", "results", "output directory")
 		budget = fs.Duration("budget", 30*time.Minute, "per-run time budget for the exhaustive baseline")
 		jobs   = fs.Int("jobs", runtime.NumCPU(), "parallel (benchmark x algorithm) cells; 1 = serial")
 		netW   = fs.Int("net-workers", 0, "concurrent nets within each routing run (internal/sched); <2 = serial, result byte-identical either way")
+		dcache = fs.Bool("decomp-cache", true, "memoize the decomposition oracle by layout content (internal/decomp); result byte-identical either way")
 		trDir  = fs.String("tracedir", "", "write one JSONL trace per ours-cell into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -95,7 +97,7 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
-	h := harness{jobs: *jobs, netWorkers: *netW, budget: *budget, traceDir: *trDir}
+	h := harness{jobs: *jobs, netWorkers: *netW, noCache: !*dcache, budget: *budget, traceDir: *trDir}
 	experiments := []struct {
 		name string
 		fn   func() (string, error)
@@ -107,6 +109,7 @@ func run(args []string, stdout io.Writer) error {
 		{"fig20", func() (string, error) { return fig20(ds, *scale, h) }},
 		{"stages", func() (string, error) { return stages(ds, *scale, h) }},
 		{"netpar", func() (string, error) { return netpar(ds, *scale) }},
+		{"decompcache", func() (string, error) { return decompcache(ds, *scale) }},
 		{"golden", func() (string, error) { return golden(ds, *outDir, h) }},
 		{"fig21", func() (string, error) { return fig21(ds, *outDir) }},
 		{"fig22", func() (string, error) { return fig22(ds, *outDir) }},

@@ -21,7 +21,8 @@ import (
 // experiments and builds one bench.Harness per (specs × algos) matrix.
 type harness struct {
 	jobs       int
-	netWorkers int // intra-instance: concurrent nets within one routing run
+	netWorkers int  // intra-instance: concurrent nets within one routing run
+	noCache    bool // route with the decomposition memo cache disabled
 	budget     time.Duration
 	traceDir   string
 }
@@ -39,9 +40,10 @@ func (h harness) runCells(ds rules.Set, specs []bench.Spec, algos []bench.Algo) 
 		Jobs: h.jobs,
 		Cfg:  bench.RunConfig{Rules: ds, Budget: h.budget},
 	}
-	if h.netWorkers > 1 {
+	if h.netWorkers > 1 || h.noCache {
 		opt := router.Defaults()
 		opt.NetWorkers = h.netWorkers
+		opt.DecompCache = !h.noCache
 		bh.Cfg.RouterOptions = &opt
 	}
 	if h.traceDir != "" {

@@ -16,6 +16,10 @@
 //   - pkgdoc: every internal/ package must open with a package comment
 //     stating its role (and paper section where one applies) — the
 //     contract behind ARCHITECTURE.md. Package-level; not suppressible.
+//   - resultwrite: no writes through decomp.Result fields outside
+//     internal/decomp — the decomposition memo cache shares one *Result
+//     among every caller asking about the same layout, so consumers must
+//     treat Results as immutable (clone first to mutate).
 //
 // A finding is suppressed by a `//lint:allow <rule> <justification>`
 // comment on the same line or the line above; the justification is

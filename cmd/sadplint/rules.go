@@ -22,6 +22,9 @@ const (
 	ruleStderr    = "stderr"    // direct os.Stderr write in library code
 	ruleDirective = "directive" // malformed lint directive
 	rulePkgDoc    = "pkgdoc"    // internal/ package without a package comment
+	// resultwrite: write through a decomp.Result field outside
+	// internal/decomp — cached Results are shared and immutable.
+	ruleResultWrite = "resultwrite"
 )
 
 // floatPkgs are the packages where the paper's integer-grid model forbids
@@ -111,6 +114,7 @@ func lintFile(l *loader, p *lintPkg, file *ast.File) []finding {
 	c.checkPanic()
 	c.checkMapRange()
 	c.checkStderr()
+	c.checkResultWrite()
 	if floatPkgs[p.relDir] {
 		c.checkFloat()
 	}
@@ -221,6 +225,84 @@ func (c *checker) checkStderr() {
 			"os.Stderr in library code: route diagnostics through internal/obs (Recorder.Debugf / trace events)")
 		return true
 	})
+}
+
+// checkResultWrite flags assignments and ++/-- whose target reaches
+// through a field of the decomposition oracle's Result type outside
+// internal/decomp itself: the memo cache (internal/decomp.Cache) shares
+// one *Result among every caller that asks about the same layout, so a
+// write through any Result field — directly, via an indexed element, or
+// through a nested struct — corrupts data other callers (and the cache's
+// Paranoid integrity check) rely on. Callers needing a private copy must
+// clone first and whitelist the clone's ownership.
+func (c *checker) checkResultWrite() {
+	if c.p.relDir == "internal/decomp" {
+		return
+	}
+	flag := func(e ast.Expr, op string) {
+		if fld := c.decompResultField(e); fld != "" {
+			c.report(e.Pos(), ruleResultWrite,
+				"%s through decomp.Result field %s: cached Results are shared and immutable outside internal/decomp", op, fld)
+		}
+	}
+	ast.Inspect(c.file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				flag(lhs, "write")
+			}
+		case *ast.IncDecStmt:
+			flag(n.X, n.Tok.String())
+		}
+		return true
+	})
+}
+
+// decompResultField unwraps an assignment target down through parens,
+// stars, indexes and selectors and returns the first field selected off a
+// decomp.Result value, or "" when the target never touches one.
+func (c *checker) decompResultField(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if isDecompResult(c.typeOf(x.X)) {
+				return x.Sel.Name
+			}
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// isDecompResult reports whether t is (a pointer to) the named type
+// Result of a package whose import path ends in internal/decomp.
+func isDecompResult(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Result" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "internal/decomp" || strings.HasSuffix(path, "/internal/decomp")
 }
 
 // checkPanic flags panic calls in library packages (internal/...). Panics

@@ -1,0 +1,23 @@
+// Package consumer seeds violations of the resultwrite rule.
+package consumer
+
+import "fixture/internal/decomp"
+
+// Mutate trips the resultwrite rule three ways: direct field write, write
+// through an indexed element, and increment.
+func Mutate(r *decomp.Result) {
+	r.SideOverlayNM = 0
+	r.Overlays[0].Hard = false
+	r.SideOverlayNM++
+}
+
+// MutateAllowed is the documented escape hatch for code that provably
+// owns its Result.
+func MutateAllowed(r *decomp.Result) {
+	r.SideOverlayNM = 0 //lint:allow resultwrite fixture: freshly cloned, never cached
+}
+
+// Read stays silent: only writes trip the rule.
+func Read(r *decomp.Result) int {
+	return r.SideOverlayNM
+}

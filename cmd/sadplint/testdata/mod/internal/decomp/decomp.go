@@ -1,0 +1,20 @@
+// Package decomp mirrors the real oracle package: it owns Result, so
+// writes to Result fields inside it are legal.
+package decomp
+
+// Result mirrors the real decomposition Result: data the memo cache
+// shares among callers, immutable outside this package.
+type Result struct {
+	SideOverlayNM int
+	Overlays      []Overlay
+}
+
+// Overlay is one measured overlay fragment.
+type Overlay struct{ Hard bool }
+
+// New builds a Result; field writes inside the owning package stay silent.
+func New() *Result {
+	r := &Result{}
+	r.SideOverlayNM = 1
+	return r
+}

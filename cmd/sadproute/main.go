@@ -40,6 +40,7 @@ func run(args []string, stdout io.Writer) error {
 		svgDir     = fs.String("svg", "", "directory for per-layer SVG renderings (optional)")
 		noFlip     = fs.Bool("no-flip", false, "disable the color-flipping DP")
 		netWorkers = fs.Int("net-workers", 0, "concurrent nets within the routing run (internal/sched); <2 = serial, result byte-identical either way")
+		dcache     = fs.Bool("decomp-cache", true, "memoize the decomposition oracle by layout content (internal/decomp); result byte-identical either way")
 		noGamma    = fs.Bool("no-gamma", false, "disable the type-2-b routing penalty")
 		traceFile  = fs.String("trace", "", "write a deterministic JSONL trace of the run to this file")
 		metrics    = fs.Bool("metrics", false, "print the full counter/gauge/stage-timing snapshot")
@@ -80,6 +81,7 @@ func run(args []string, stdout io.Writer) error {
 
 	opt := sadp.Defaults()
 	opt.NetWorkers = *netWorkers
+	opt.DecompCache = *dcache
 	if *noFlip {
 		opt.ColorFlip = false
 	}
@@ -102,7 +104,7 @@ func run(args []string, stdout io.Writer) error {
 	stopTotal := rec.Span(obs.StageTotal)
 	res := sadp.Route(nl, ds, opt)
 	stopEval := rec.Span(obs.StageEvaluate)
-	_, tot := sadp.Evaluate(res)
+	_, tot := sadp.EvaluateR(res, rec)
 	stopEval()
 	stopTotal()
 	snap := rec.Snapshot()

@@ -1,0 +1,141 @@
+package sadp
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sadproute/internal/obs"
+)
+
+// cacheDump routes one spec with the given cache setting and worker count
+// and returns the canonical run dump plus the raw JSONL trace bytes (see
+// routeDump). Both the sched.* family (absent in serial runs) and the
+// decomp.* family (a cache hit returns the stored Result without
+// re-running the oracle, so the work counters legitimately differ) are
+// zeroed; every other counter must match across configurations.
+func cacheDump(t *testing.T, sp Spec, cache bool, workers int) (string, string) {
+	t.Helper()
+	nl := Generate(sp)
+	opt := Defaults()
+	opt.DecompCache = cache
+	opt.NetWorkers = workers
+	rec := NewRecorder()
+	var tr bytes.Buffer
+	rec.SetTrace(&tr)
+	opt.Obs = rec
+	res := Route(nl, Node10nm(), opt)
+	if err := rec.TraceErr(); err != nil {
+		t.Fatal(err)
+	}
+	snap := rec.Snapshot()
+	for c := range snap.Counters {
+		name := obs.CounterID(c).String()
+		if strings.HasPrefix(name, "sched.") || strings.HasPrefix(name, "decomp.") {
+			snap.Counters[c] = 0
+		}
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "routed=%d failed=%d wl=%d vias=%d\n",
+		res.Routed, res.Failed, res.WirelengthCells, res.Vias)
+	b.WriteString(snap.CountersString())
+	fmt.Fprintf(&b, "paths=%v\n", res.Paths)
+	fmt.Fprintf(&b, "colors=%v\n", res.Colors)
+	layers, tot := Evaluate(res)
+	fmt.Fprintf(&b, "totals=%+v\n", tot)
+	for i, lr := range layers {
+		fmt.Fprintf(&b, "layer%d: so=%d tip=%d hard=%d conf=%d\n",
+			i, lr.SideOverlayNM, lr.TipOverlayNM, lr.HardOverlays, len(lr.Conflicts))
+	}
+	return b.String(), tr.String()
+}
+
+// TestDecompCacheMatchesUncached is the tentpole's equivalence guarantee:
+// routing with the decomposition memo cache (Options.DecompCache, the
+// default) produces a byte-identical result — paths, colors, overlay
+// totals, every non-decomp/non-sched counter, and the JSONL trace stream
+// — to the uncached oracle, serially and under intra-instance
+// parallelism. CI also diffs the experiment harness's golden tables with
+// the cache off against the committed (cached) goldens.
+func TestDecompCacheMatchesUncached(t *testing.T) {
+	for _, sp := range intraparSpecs {
+		t.Run(sp.Name, func(t *testing.T) {
+			want, wantTr := cacheDump(t, sp, false, 0)
+			for _, cfg := range []struct {
+				cache   bool
+				workers int
+			}{{true, 0}, {false, 4}, {true, 4}} {
+				got, gotTr := cacheDump(t, sp, cfg.cache, cfg.workers)
+				if got != want {
+					t.Fatalf("cache=%v workers=%d diverges from uncached serial:\n--- uncached\n%s\n--- got\n%s",
+						cfg.cache, cfg.workers, want, got)
+				}
+				if gotTr != wantTr {
+					i := 0
+					for i < len(wantTr) && i < len(gotTr) && wantTr[i] == gotTr[i] {
+						i++
+					}
+					lo := max(i-120, 0)
+					t.Fatalf("cache=%v workers=%d trace diverges at byte %d:\n--- uncached\n...%s\n--- got\n...%s",
+						cfg.cache, cfg.workers, i, wantTr[lo:min(i+120, len(wantTr))],
+						gotTr[lo:min(i+120, len(gotTr))])
+				}
+			}
+		})
+	}
+}
+
+// TestDecompCacheEngages guards against the cache silently degenerating
+// to all-misses: across the equivalence suite, the window-check and
+// final-metrics paths must score a substantial number of hits, or the
+// equivalence test above proves nothing about the hit path.
+func TestDecompCacheEngages(t *testing.T) {
+	var hits, misses int64
+	for _, sp := range intraparSpecs {
+		nl := Generate(sp)
+		opt := Defaults()
+		rec := NewRecorder()
+		opt.Obs = rec
+		res := Route(nl, Node10nm(), opt)
+		EvaluateR(res, rec)
+		snap := rec.Snapshot()
+		hits += snap.Counter(obs.CtrDecompCacheHits)
+		misses += snap.Counter(obs.CtrDecompCacheMisses)
+	}
+	if hits == 0 {
+		t.Fatal("no window check or evaluation ever hit the cache: the memo path is degenerate")
+	}
+	if misses == 0 {
+		t.Fatal("no cache misses recorded: the oracle never actually ran")
+	}
+	t.Logf("cache engaged: %d hits, %d misses (%.1f%% hit rate)",
+		hits, misses, 100*float64(hits)/float64(hits+misses))
+}
+
+// TestDecompCacheResultsImmutable enforces the shared-Result contract:
+// after a full routing run plus evaluation under Options.DecompParanoid,
+// every cached Result still matches the deep copy taken when it was
+// stored — no router or metrics code wrote through shared cache data —
+// and the check itself provably detects such a write.
+func TestDecompCacheResultsImmutable(t *testing.T) {
+	sp := intraparSpecs[0]
+	nl := Generate(sp)
+	opt := Defaults()
+	opt.DecompParanoid = true
+	res := Route(nl, Node10nm(), opt)
+	layers, _ := Evaluate(res) // final metrics also run through the caches
+	if err := res.DecompCacheCheck(); err != nil {
+		t.Fatalf("routing or evaluation mutated a cached Result: %v", err)
+	}
+	// Prove the check has teeth: a write through a shared Result — exactly
+	// what the sadplint resultwrite rule forbids — must be detected.
+	layers[0].SideOverlayNM++ //lint:allow resultwrite deliberate forbidden write: proves DecompCacheCheck detects mutation
+	if err := res.DecompCacheCheck(); err == nil {
+		t.Fatal("mutating a cached Result went undetected")
+	}
+	layers[0].SideOverlayNM-- //lint:allow resultwrite restores the deliberate write above
+	if err := res.DecompCacheCheck(); err != nil {
+		t.Fatalf("restored cache still flagged: %v", err)
+	}
+}

@@ -98,7 +98,8 @@ func Run(nl *netlist.Netlist, algo Algo, cfg RunConfig) (Metrics, error) {
 		m.Wirelength = res.WirelengthCells
 		m.Vias = res.Vias
 		stopEval := rec.Span(obs.StageEvaluate)
-		fill(&m, res.Layouts(), false)
+		_, tot := res.DecomposeLayersR(rec)
+		applyTotals(&m, tot)
 		stopEval()
 		stopTotal()
 		m.Obs = rec.Snapshot()
@@ -160,6 +161,11 @@ func fill(m *Metrics, layouts []decomp.Layout, trim bool) {
 	} else {
 		_, tot = decomp.DecomposeLayers(layouts)
 	}
+	applyTotals(m, tot)
+}
+
+// applyTotals copies the oracle aggregates into the table row.
+func applyTotals(m *Metrics, tot decomp.Totals) {
 	m.OverlayUnits = tot.SideOverlayUnits
 	m.OverlayNM = tot.SideOverlayNM
 	m.Conflicts = tot.Conflicts

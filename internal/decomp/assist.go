@@ -16,11 +16,11 @@ type tgt struct {
 	rect  geom.Rect
 }
 
-// collectTargets flattens the layout's patterns into a target list plus a
-// spatial index over it. Unassigned patterns are recorded as violations and
-// treated as core so that processing can continue.
-func collectTargets(ly Layout, res *Result) ([]tgt, *rectIndex) {
-	var ts []tgt
+// collectTargets flattens the layout's patterns into the engine's target
+// list plus a spatial index over it. Unassigned patterns are recorded as
+// violations and treated as core so that processing can continue.
+func (e *Engine) collectTargets(ly Layout, res *Result) {
+	e.ts = e.ts[:0]
 	for pi, p := range ly.Pats {
 		c := p.Color
 		if c == Unassigned {
@@ -31,14 +31,13 @@ func collectTargets(ly Layout, res *Result) ([]tgt, *rectIndex) {
 			if r.Empty() {
 				continue
 			}
-			ts = append(ts, tgt{pat: pi, net: p.Net, color: c, rect: r})
+			e.ts = append(e.ts, tgt{pat: pi, net: p.Net, color: c, rect: r})
 		}
 	}
-	ix := newRectIndex(indexCell(ly))
-	for i, t := range ts {
-		ix.add(i, t.rect)
+	e.tix.reset(indexCell(ly))
+	for i, t := range e.ts {
+		e.tix.add(i, t.rect)
 	}
-	return ts, ix
 }
 
 func indexCell(ly Layout) int {
@@ -67,12 +66,13 @@ func indexCell(ly Layout) int {
 //
 // Assist-assist proximity is left to the merge stage: merged or bridged
 // assists are harmless because the cut boundary then touches no target.
-func buildAssists(ly Layout, ts []tgt, tix *rectIndex) []Mat {
+// Surviving slabs append to e.mats.
+func (e *Engine) buildAssists(ly Layout) {
 	ds := ly.Rules
 	ws, wc := ds.WSpacer, ds.WCore
 	out0, out1 := ws, ws+wc
-	var out []Mat
-	var near []int
+	ts, tix := e.ts, &e.tix
+	near := e.near[:0]
 	for _, t := range ts {
 		if t.color != Second {
 			continue
@@ -97,7 +97,7 @@ func buildAssists(ly Layout, ts []tgt, tix *rectIndex) []Mat {
 		for _, sl := range slabs {
 			f, ok := sl.rect, true
 			if !ly.NaiveAssists {
-				f, ok = shapeSlab(ds, sl.rect, sl.horiz, sl.span, sl.tip, t.pat, ts, tix)
+				f, ok = e.shapeSlab(ds, sl.rect, sl.horiz, sl.span, sl.tip, t.pat)
 			}
 			if !ok {
 				continue
@@ -110,7 +110,7 @@ func buildAssists(ly Layout, ts []tgt, tix *rectIndex) []Mat {
 			// order-independent but the rect decomposition (and with it which
 			// slivers fall under the w_core minimum) is not, and bucket scan
 			// order follows absolute coordinates.
-			pieces := []geom.Rect{f}
+			pieces := append(e.pieces[:0], f)
 			near = near[:0]
 			tix.query(f.Expand(ws), func(oi int) { near = append(near, oi) })
 			sort.Ints(near)
@@ -129,27 +129,32 @@ func buildAssists(ly Layout, ts []tgt, tix *rectIndex) []Mat {
 			}
 			for _, pc := range pieces {
 				if pc.W() >= wc && pc.H() >= wc {
-					out = append(out, Mat{Kind: MatAssist, Pat: t.pat, Rect: pc})
+					e.mats = append(e.mats, Mat{Kind: MatAssist, Pat: t.pat, Rect: pc})
 				}
 			}
+			e.pieces = pieces[:0]
 		}
 	}
-	return out
+	e.near = near[:0]
 }
 
 // shapeSlab applies the drop/trim policy against foreign core targets and
 // returns the (possibly shortened) slab, or ok=false when a tip slab is
 // dropped.
-func shapeSlab(ds rules.Set, f geom.Rect, horiz bool, span interval.Iv, tip bool, ownPat int, ts []tgt, tix *rectIndex) (geom.Rect, bool) {
+func (e *Engine) shapeSlab(ds rules.Set, f geom.Rect, horiz bool, span interval.Iv, tip bool, ownPat int) (geom.Rect, bool) {
+	ts, tix := e.ts, &e.tix
 	dcore := ds.DCore
 	drop := false
-	along := interval.NewSet(alongIv(f, horiz))
+	along := &e.along
+	along.Reset()
+	along.Add(alongIv(f, horiz))
 	// The trim below mutates `along` step by step, so the outcome depends
 	// on the order foreign cores are considered; canonicalize to target
 	// order (bucket-scan order tracks absolute coordinates).
-	var near []int
+	near := e.shapeNear[:0]
 	tix.query(f.Expand(dcore), func(oi int) { near = append(near, oi) })
 	sort.Ints(near)
+	e.shapeNear = near[:0]
 	for _, oi := range near {
 		o := ts[oi]
 		if o.color != Core || o.pat == ownPat {
@@ -169,12 +174,14 @@ func shapeSlab(ds rules.Set, f geom.Rect, horiz bool, span interval.Iv, tip bool
 		}
 		// Try trimming the along-extent to d_core clearance.
 		oa := alongIv(o.rect, horiz)
-		trial := along.Clone()
+		trial := &e.trial
+		trial.CopyFrom(along)
 		trial.Subtract(interval.Iv{Lo: oa.Lo - dcore, Hi: oa.Hi + dcore})
 		trimmed := false
 		for _, iv := range trial.Intervals() {
 			if iv.Lo <= span.Lo && iv.Hi >= span.Hi {
-				along = interval.NewSet(iv)
+				along.Reset()
+				along.Add(iv)
 				trimmed = true
 				break
 			}
@@ -191,7 +198,8 @@ func shapeSlab(ds rules.Set, f geom.Rect, horiz bool, span interval.Iv, tip bool
 		if oa.Overlaps(span) {
 			cur2 := along.Intervals()
 			if len(cur2) == 1 && (cur2[0].Lo < span.Lo || cur2[0].Hi > span.Hi) {
-				along = interval.NewSet(span)
+				along.Reset()
+				along.Add(span)
 			}
 		}
 	}

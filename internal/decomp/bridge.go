@@ -45,12 +45,17 @@ func bridgeRect(a, b geom.Rect) geom.Rect {
 // or overlap are one mask blob and never need bridging.
 type dsu struct{ p []int }
 
-func newDSU(n int) *dsu {
-	d := &dsu{p: make([]int, n)}
+// reset re-initializes the union-find for n elements, reusing its backing
+// array (pooled engines rebuild connectivity every merge iteration).
+func (d *dsu) reset(n int) {
+	if cap(d.p) < n {
+		d.p = make([]int, n)
+	} else {
+		d.p = d.p[:n]
+	}
 	for i := range d.p {
 		d.p[i] = i
 	}
-	return d
 }
 
 func (d *dsu) find(x int) int {
@@ -86,14 +91,17 @@ func (d *dsu) union(a, b int) { d.p[d.find(a)] = d.find(b) }
 // a function of the layout geometry alone — material enumeration order
 // (which tracks absolute coordinates) cannot influence the verdict, so
 // rigid transforms of the layout preserve it.
-func buildBridges(ly Layout, mats []Mat, ts []tgt, tix *rectIndex, res *Result) []Mat {
+func (e *Engine) buildBridges(ly Layout, res *Result) {
 	ds := ly.Rules
+	mats, ts, tix := e.mats, e.ts, &e.tix
 	for iter := 0; iter < 6; iter++ {
 		// Connectivity is rebuilt from the actual geometry every iteration:
 		// a trim can pull an assist off material it used to touch, and a
 		// stale union would then hide the fresh sub-d_core gap forever.
-		comp := newDSU(len(mats))
-		ix := newRectIndex(indexCell(ly))
+		comp := &e.comp
+		comp.reset(len(mats))
+		ix := &e.bix
+		ix.reset(indexCell(ly))
 		for i, m := range mats {
 			ix.add(i, m.Rect)
 		}
@@ -115,12 +123,12 @@ func buildBridges(ly Layout, mats []Mat, ts []tgt, tix *rectIndex, res *Result) 
 		// Snapshot the geometry and collect every cross-blob pair closer
 		// than d_core. The pair set is determined by the snapshot, not by
 		// any processing order.
-		snap := make([]geom.Rect, len(mats))
+		snap := e.snap[:0]
 		for i := range mats {
-			snap[i] = mats[i].Rect
+			snap = append(snap, mats[i].Rect)
 		}
-		type pair struct{ i, j int }
-		var pairs []pair
+		e.snap = snap
+		pairs := e.pairs[:0]
 		for i := range mats {
 			if snap[i].Empty() {
 				continue
@@ -130,10 +138,11 @@ func buildBridges(ly Layout, mats []Mat, ts []tgt, tix *rectIndex, res *Result) 
 					return
 				}
 				if gap, positive := gapLinf(snap[i], snap[j]); positive && gap < ds.DCore {
-					pairs = append(pairs, pair{i, j})
+					pairs = append(pairs, matPair{i, j})
 				}
 			})
 		}
+		e.pairs = pairs[:0]
 		sort.Slice(pairs, func(a, b int) bool {
 			if pairs[a].i != pairs[b].i {
 				return pairs[a].i < pairs[b].i
@@ -156,9 +165,15 @@ func buildBridges(ly Layout, mats []Mat, ts []tgt, tix *rectIndex, res *Result) 
 			return br
 		}
 
-		var added []Mat
-		trimRect := map[int]geom.Rect{} // assist index -> intersected trim result
-		trimPend := map[int][]pair{}    // assist index -> pairs relying on that trim
+		added := e.added[:0]
+		if e.trimRect == nil {
+			e.trimRect = map[int]geom.Rect{} // assist index -> intersected trim result
+			e.trimPend = map[int][]matPair{} // assist index -> pairs relying on that trim
+		} else {
+			clear(e.trimRect)
+			clear(e.trimPend)
+		}
+		trimRect, trimPend := e.trimRect, e.trimPend
 		for _, p := range pairs {
 			a, b := snap[p.i], snap[p.j]
 			var br geom.Rect
@@ -198,11 +213,12 @@ func buildBridges(ly Layout, mats []Mat, ts []tgt, tix *rectIndex, res *Result) 
 		// minimum; pairs whose trim collapsed revert to point-contact
 		// bridges (real decomposers sacrifice optional assist material
 		// before breaking a target).
-		tks := make([]int, 0, len(trimRect))
+		tks := e.tks[:0]
 		for k := range trimRect {
 			tks = append(tks, k)
 		}
 		sort.Ints(tks)
+		e.tks = tks[:0]
 		trimmed := false
 		for _, k := range tks {
 			nr := trimRect[k]
@@ -219,15 +235,19 @@ func buildBridges(ly Layout, mats []Mat, ts []tgt, tix *rectIndex, res *Result) 
 		// A trim-only iteration is not a fixed point: the trim may have
 		// opened a sub-d_core gap to formerly-touching material, which the
 		// next iteration's rebuilt connectivity will catch and bridge.
+		e.added = added[:0]
 		if len(added) == 0 && !trimmed {
 			break
 		}
 		mats = append(mats, added...)
 	}
+	e.mats = mats
 	// Count the surviving mask blobs (distinct touching-components over
 	// non-empty material) for the observability snapshot.
-	comp := newDSU(len(mats))
-	ix := newRectIndex(indexCell(ly))
+	comp := &e.comp
+	comp.reset(len(mats))
+	ix := &e.bix
+	ix.reset(indexCell(ly))
 	for i, m := range mats {
 		ix.add(i, m.Rect)
 	}
@@ -251,7 +271,6 @@ func buildBridges(ly Layout, mats []Mat, ts []tgt, tix *rectIndex, res *Result) 
 		}
 	}
 	res.Blobs = len(roots)
-	return mats
 }
 
 // bridgeCollision reports whether a (thick) bridge hits target geometry

@@ -1,0 +1,178 @@
+package decomp
+
+import (
+	"reflect"
+	"testing"
+
+	"sadproute/internal/geom"
+	"sadproute/internal/obs"
+	"sadproute/internal/rules"
+)
+
+// snapCtr reads one counter off a fresh snapshot.
+func snapCtr(rec *obs.Recorder, c obs.CounterID) int64 {
+	s := rec.Snapshot()
+	return s.Counter(c)
+}
+
+// cacheLayout builds a small two-net layout whose geometry is easy to
+// permute for the canonicalization tests.
+func cacheLayout(ca, cb Color) Layout {
+	ds := rules.Node10nm()
+	p, w := ds.Pitch(), ds.WLine
+	return Layout{
+		Rules: ds,
+		Die:   geom.Rect{X0: -200, Y0: -200, X1: 20 * p, Y1: 20 * p},
+		Pats: []Pattern{
+			{Net: 3, Color: ca, Rects: []geom.Rect{{X0: 0, Y0: 2 * p, X1: 8*p + w, Y1: 2*p + w}}},
+			{Net: 7, Color: cb, Rects: []geom.Rect{{X0: 0, Y0: 3 * p, X1: 6*p + w, Y1: 3*p + w}}},
+		},
+	}
+}
+
+func TestCacheHitReturnsSharedResult(t *testing.T) {
+	c := NewCache(0)
+	rec := obs.New()
+	ly := cacheLayout(Core, Second)
+	r1 := c.DecomposeCut(ly, rec)
+	r2 := c.DecomposeCut(ly, rec)
+	if r1 != r2 {
+		t.Fatal("second identical decomposition did not return the cached Result")
+	}
+	s := rec.Snapshot()
+	if got := s.Counter(obs.CtrDecompCacheHits); got != 1 {
+		t.Errorf("cache_hits = %d, want 1", got)
+	}
+	if got := s.Counter(obs.CtrDecompCacheMisses); got != 1 {
+		t.Errorf("cache_misses = %d, want 1", got)
+	}
+	if got := s.Counter(obs.CtrDecompositions); got != 1 {
+		t.Errorf("decompositions = %d, want 1 (hit must not re-run the oracle)", got)
+	}
+}
+
+func TestCacheMatchesUncachedOracle(t *testing.T) {
+	c := NewCache(0)
+	for _, colors := range [][2]Color{{Core, Core}, {Core, Second}, {Second, Core}, {Second, Second}} {
+		ly := cacheLayout(colors[0], colors[1])
+		cached := c.DecomposeCut(ly, nil)
+		fresh := DecomposeCut(ly)
+		if !reflect.DeepEqual(cached, fresh) {
+			t.Errorf("%v%v: cached result differs from uncached oracle\ncached: %+v\nfresh:  %+v",
+				colors[0], colors[1], cached, fresh)
+		}
+	}
+}
+
+// TestCacheCanonicalPatternOrder: the key sorts patterns by net, so a
+// permuted pattern list hits the entry of the original layout.
+func TestCacheCanonicalPatternOrder(t *testing.T) {
+	c := NewCache(0)
+	rec := obs.New()
+	ly := cacheLayout(Core, Second)
+	r1 := c.DecomposeCut(ly, rec)
+	perm := ly
+	perm.Pats = []Pattern{ly.Pats[1], ly.Pats[0]}
+	r2 := c.DecomposeCut(perm, rec)
+	if r1 != r2 {
+		t.Error("net-permuted pattern list missed the cache; key is not canonical")
+	}
+}
+
+func TestCacheDistinguishesColorings(t *testing.T) {
+	c := NewCache(0)
+	a := c.DecomposeCut(cacheLayout(Core, Second), nil)
+	b := c.DecomposeCut(cacheLayout(Second, Core), nil)
+	if a == b {
+		t.Fatal("different colorings shared one cache entry")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+// TestCacheCollisionVerified: an entry whose hash matches but whose key
+// bytes differ must not be returned — inject a forged entry under the
+// layout's own hash and check the lookup still runs the oracle.
+func TestCacheCollisionVerified(t *testing.T) {
+	c := NewCache(0)
+	rec := obs.New()
+	ly := cacheLayout(Core, Second)
+	h := c.buildKey(ly)
+	bogus := &Result{SideOverlayNM: -12345}
+	c.buckets[h] = append(c.buckets[h], &cacheEntry{hash: h, key: []byte("forged"), res: bogus})
+	c.fifo = append(c.fifo, c.buckets[h][0])
+	got := c.DecomposeCut(ly, rec)
+	if got == bogus {
+		t.Fatal("hash collision returned the wrong entry; full-key verification missing")
+	}
+	if snapCtr(rec, obs.CtrDecompCacheMisses) != 1 {
+		t.Error("collision lookup should count as a miss")
+	}
+}
+
+func TestCacheEvictionFIFO(t *testing.T) {
+	c := NewCache(2)
+	rec := obs.New()
+	lys := []Layout{
+		cacheLayout(Core, Core),
+		cacheLayout(Core, Second),
+		cacheLayout(Second, Second),
+	}
+	for _, ly := range lys {
+		c.DecomposeCut(ly, rec)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 after eviction", c.Len())
+	}
+	if got := snapCtr(rec, obs.CtrDecompCacheEvictions); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	// The oldest entry (lys[0]) left; the two youngest still hit.
+	before := snapCtr(rec, obs.CtrDecompCacheHits)
+	c.DecomposeCut(lys[1], rec)
+	c.DecomposeCut(lys[2], rec)
+	if got := snapCtr(rec, obs.CtrDecompCacheHits) - before; got != 2 {
+		t.Errorf("young entries: %d hits, want 2", got)
+	}
+	if snapCtr(rec, obs.CtrDecompCacheMisses) != 3 {
+		t.Errorf("misses = %d, want 3 (no re-miss of young entries)", snapCtr(rec, obs.CtrDecompCacheMisses))
+	}
+	c.DecomposeCut(lys[0], rec) // evicted: must miss again
+	if got := snapCtr(rec, obs.CtrDecompCacheMisses); got != 4 {
+		t.Errorf("misses = %d, want 4 after re-requesting the evicted entry", got)
+	}
+}
+
+func TestCacheNilReceiver(t *testing.T) {
+	var c *Cache
+	ly := cacheLayout(Core, Second)
+	got := c.DecomposeCut(ly, nil)
+	want := DecomposeCut(ly)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("nil cache must behave as the uncached oracle")
+	}
+	if c.Len() != 0 {
+		t.Error("nil cache Len must be 0")
+	}
+	if err := c.CheckIntegrity(); err != nil {
+		t.Errorf("nil cache CheckIntegrity: %v", err)
+	}
+}
+
+func TestCacheParanoidCatchesMutation(t *testing.T) {
+	c := NewCache(0)
+	c.Paranoid = true
+	res := c.DecomposeCut(cacheLayout(Core, Second), nil)
+	if err := c.CheckIntegrity(); err != nil {
+		t.Fatalf("pristine cache flagged: %v", err)
+	}
+	res.SideOverlayNM++ // the forbidden write the resultwrite lint rule guards against
+	if err := c.CheckIntegrity(); err == nil {
+		t.Fatal("mutation of a cached Result went undetected")
+	}
+	res.SideOverlayNM--
+	if err := c.CheckIntegrity(); err != nil {
+		t.Fatalf("restored cache still flagged: %v", err)
+	}
+}

@@ -20,36 +20,47 @@ func DecomposeCut(ly Layout) *Result { return DecomposeCutR(ly, nil) }
 // DecomposeCutR is DecomposeCut reporting to an observability recorder
 // (decomposition count, blob/bridge/assist material counts, overlay
 // fragment count, and StageDecompose wall time). A nil rec is the
-// un-instrumented fast path.
+// un-instrumented fast path. It borrows a pooled scratch engine for the
+// single call; loops decomposing many layouts should Acquire an Engine
+// once instead.
 func DecomposeCutR(ly Layout, rec *obs.Recorder) *Result {
+	e := Acquire()
+	defer e.Release()
+	return e.DecomposeCut(ly, rec)
+}
+
+// DecomposeCut runs the cut-process oracle on the engine's scratch state.
+// The returned Result shares nothing with the engine and must be treated
+// as immutable once handed to a Cache (the sadplint resultwrite rule
+// enforces this outside the package).
+func (e *Engine) DecomposeCut(ly Layout, rec *obs.Recorder) *Result {
 	defer rec.Span(obs.StageDecompose)()
 	res := &Result{}
-	ts, tix := collectTargets(ly, res)
+	e.collectTargets(ly, res)
 
-	mats := make([]Mat, 0, len(ts)*2)
-	for ti, t := range ts {
-		_ = ti
+	e.mats = e.mats[:0]
+	for _, t := range e.ts {
 		if t.color == Core {
-			mats = append(mats, Mat{Kind: MatCoreTarget, Pat: t.pat, Rect: t.rect})
+			e.mats = append(e.mats, Mat{Kind: MatCoreTarget, Pat: t.pat, Rect: t.rect})
 		}
 	}
-	mats = append(mats, buildAssists(ly, ts, tix)...)
-	mats = buildBridges(ly, mats, ts, tix, res)
+	e.buildAssists(ly)
+	e.buildBridges(ly, res)
 
-	mix := newRectIndex(indexCell(ly))
-	for i, m := range mats {
-		mix.add(i, m.Rect)
+	e.mix.reset(indexCell(ly))
+	for i, m := range e.mats {
+		e.mix.add(i, m.Rect)
 	}
-	for ti := range ts {
-		measureRect(ly, ti, ts, tix, mats, mix, res)
+	for ti := range e.ts {
+		e.measureRect(ly, ti, res)
 	}
-	res.Materials = mats
+	res.Materials = append([]Mat(nil), e.mats...)
 	res.SideOverlayUnits = float64(res.SideOverlayNM) / float64(ly.Rules.WLine) //lint:allow float reporting-only: the paper quotes overlay in fractional w_line units
 	if rec != nil {
 		rec.Inc(obs.CtrDecompositions)
 		rec.Add(obs.CtrDecompBlobs, int64(res.Blobs))
 		var bridges, assists int64
-		for _, m := range mats {
+		for _, m := range e.mats {
 			switch m.Kind {
 			case MatBridge:
 				bridges++
@@ -73,10 +84,12 @@ func DecomposeLayers(layers []Layout) ([]*Result, Totals) {
 // DecomposeLayersR is DecomposeLayers reporting to an observability
 // recorder (see DecomposeCutR).
 func DecomposeLayersR(layers []Layout, rec *obs.Recorder) ([]*Result, Totals) {
+	e := Acquire()
+	defer e.Release()
 	out := make([]*Result, len(layers))
 	var tot Totals
 	for i, ly := range layers {
-		out[i] = DecomposeCutR(ly, rec)
+		out[i] = e.DecomposeCut(ly, rec)
 		tot.Accumulate(out[i])
 	}
 	return out, tot

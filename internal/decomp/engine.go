@@ -1,0 +1,63 @@
+package decomp
+
+import (
+	"sync"
+
+	"sadproute/internal/geom"
+	"sadproute/internal/interval"
+)
+
+// Engine is the oracle's reusable scratch state: target lists, spatial
+// indexes, the per-iteration union-find of the merge stage, and the
+// interval sets of the boundary measurement. One decomposition allocates
+// only its Result; everything intermediate lives in the engine and is
+// reused by the next call, mirroring the astar engine pool.
+//
+// An Engine is single-goroutine state: Acquire one, run any number of
+// decompositions, Release it. Results returned by engine methods never
+// alias engine scratch, so they stay valid (and immutable — see Cache)
+// after Release.
+type Engine struct {
+	// Targets and their spatial index (collectTargets).
+	ts  []tgt
+	tix rectIndex
+	// Core-mask material and its index (DecomposeCut/DecomposeTrim).
+	mats []Mat
+	mix  rectIndex
+	// Merge-stage scratch (buildBridges): per-iteration connectivity,
+	// geometry snapshot, cross-blob pair list and bridge accumulator.
+	comp     dsu
+	bix      rectIndex
+	snap     []geom.Rect
+	pairs    []matPair
+	added    []Mat
+	trimRect map[int]geom.Rect
+	trimPend map[int][]matPair
+	tks      []int
+	// Assist-synthesis scratch (buildAssists/shapeSlab).
+	near      []int
+	shapeNear []int
+	pieces    []geom.Rect
+	along     interval.Set
+	trial     interval.Set
+	// Boundary-measurement scratch (measureRect): per-side overlay sets
+	// plus the interior/protection accumulators and the pair-conflict
+	// intersection buffer.
+	sideOv   [4]interval.Set
+	interior interval.Set
+	covered  interval.Set
+	matTouch interval.Set
+	xset     interval.Set
+}
+
+// matPair is one cross-blob material pair of a merge iteration.
+type matPair struct{ i, j int }
+
+var enginePool = sync.Pool{New: func() any { return &Engine{} }}
+
+// Acquire returns a scratch engine from the process-wide pool.
+func Acquire() *Engine { return enginePool.Get().(*Engine) }
+
+// Release returns the engine to the pool. The caller must not use e
+// afterwards; Results it produced remain valid.
+func (e *Engine) Release() { enginePool.Put(e) }

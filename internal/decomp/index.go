@@ -21,6 +21,32 @@ func newRectIndex(cell int) *rectIndex {
 	return &rectIndex{cell: cell, m: make(map[geom.Pt][]int32)}
 }
 
+// reset empties the index for reuse (pooled engines), keeping the bucket
+// map's storage. The stamp table survives across uses — entries from an
+// earlier life are always below the ever-increasing query stamp — but the
+// stamp must not wrap, so a long-lived engine re-zeros it well before
+// int32 overflow.
+func (ix *rectIndex) reset(cell int) {
+	if cell <= 0 {
+		cell = 200
+	}
+	if ix.m == nil {
+		ix.m = make(map[geom.Pt][]int32)
+	} else {
+		for k, v := range ix.m {
+			ix.m[k] = v[:0]
+		}
+	}
+	ix.cell = cell
+	ix.n = 0
+	if ix.cur > 1<<30 {
+		for i := range ix.stamp {
+			ix.stamp[i] = 0
+		}
+		ix.cur = 0
+	}
+}
+
 func (ix *rectIndex) buckets(r geom.Rect) (bx0, by0, bx1, by1 int) {
 	return floordiv(r.X0, ix.cell), floordiv(r.Y0, ix.cell),
 		floordiv(r.X1-1, ix.cell), floordiv(r.Y1-1, ix.cell)

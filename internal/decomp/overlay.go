@@ -20,19 +20,23 @@ import (
 //
 // Overlays on the two short ends of a wire are tip overlays (non-critical);
 // overlays on long sides are side overlays, hard when longer than w_line.
-func measureRect(ly Layout, ti int, ts []tgt, tix *rectIndex, mats []Mat, mix *rectIndex, res *Result) {
+func (e *Engine) measureRect(ly Layout, ti int, res *Result) {
+	ts, tix, mats, mix := e.ts, &e.tix, e.mats, &e.mix
 	t := ts[ti]
 	r := t.rect
 	ds := ly.Rules
 	ws := ds.WSpacer
 
-	var sideSets [4]*interval.Set // overlay intervals per side
+	var sideSets [4]*interval.Set // overlay intervals per side (engine scratch)
 
 	for _, side := range [...]Side{SideLeft, SideRight, SideBottom, SideTop} {
 		span, b, outPos, horiz := sideGeom(r, side)
-		interior := &interval.Set{}
-		covered := &interval.Set{}
-		matTouch := &interval.Set{}
+		interior := &e.interior
+		interior.Reset()
+		covered := &e.covered
+		covered.Reset()
+		matTouch := &e.matTouch
+		matTouch.Reset()
 
 		// Same-pattern targets covering the outside row are polygon seams;
 		// different-net targets there are abutment violations.
@@ -77,7 +81,9 @@ func measureRect(ly Layout, ti int, ts []tgt, tix *rectIndex, mats []Mat, mix *r
 		})
 
 		// overlay = span - interior - (covered - matTouch)
-		ov := interval.NewSet(span)
+		ov := &e.sideOv[side]
+		ov.Reset()
+		ov.Add(span)
 		ov.SubtractSet(interior)
 		prot := covered
 		prot.SubtractSet(matTouch)
@@ -110,7 +116,8 @@ func measureRect(ly Layout, ti int, ts []tgt, tix *rectIndex, mats []Mat, mix *r
 		if across >= ds.DCut {
 			return
 		}
-		x := sideSets[a].Clone()
+		x := &e.xset
+		x.CopyFrom(sideSets[a])
 		x.IntersectSet(sideSets[bSide])
 		for _, iv := range x.Intervals() {
 			res.Conflicts = append(res.Conflicts, CutConflict{

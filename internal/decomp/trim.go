@@ -17,19 +17,28 @@ package decomp
 //
 // Core-pattern boundaries are mask-defined and never carry overlays.
 func DecomposeTrim(ly Layout) *Result {
+	e := Acquire()
+	defer e.Release()
+	return e.DecomposeTrim(ly)
+}
+
+// DecomposeTrim runs the trim-process oracle on the engine's scratch
+// state; the returned Result shares nothing with the engine.
+func (e *Engine) DecomposeTrim(ly Layout) *Result {
 	res := &Result{}
-	ts, tix := collectTargets(ly, res)
+	e.collectTargets(ly, res)
+	ts, tix := e.ts, &e.tix
 
 	// Core targets are the only material: no assists, no bridges.
-	mats := make([]Mat, 0, len(ts))
+	e.mats = e.mats[:0]
 	for _, t := range ts {
 		if t.color == Core {
-			mats = append(mats, Mat{Kind: MatCoreTarget, Pat: t.pat, Rect: t.rect})
+			e.mats = append(e.mats, Mat{Kind: MatCoreTarget, Pat: t.pat, Rect: t.rect})
 		}
 	}
-	mix := newRectIndex(indexCell(ly))
-	for i, m := range mats {
-		mix.add(i, m.Rect)
+	e.mix.reset(indexCell(ly))
+	for i, m := range e.mats {
+		e.mix.add(i, m.Rect)
 	}
 
 	// Same-mask spacing conflicts, deduplicated per pattern pair.
@@ -70,10 +79,10 @@ func DecomposeTrim(ly Layout) *Result {
 			continue
 		}
 		nc := len(res.Conflicts)
-		measureRect(ly, ti, ts, tix, mats, mix, res)
+		e.measureRect(ly, ti, res)
 		res.Conflicts = res.Conflicts[:nc]
 	}
-	res.Materials = mats
+	res.Materials = append([]Mat(nil), e.mats...)
 	res.SideOverlayUnits = float64(res.SideOverlayNM) / float64(ly.Rules.WLine) //lint:allow float reporting-only: the paper quotes overlay in fractional w_line units
 	return res
 }

@@ -64,6 +64,12 @@ func (s *Set) Clone() *Set {
 	return out
 }
 
+// Reset empties s, keeping its backing storage for reuse.
+func (s *Set) Reset() { s.ivs = s.ivs[:0] }
+
+// CopyFrom replaces s's contents with o's, reusing s's backing storage.
+func (s *Set) CopyFrom(o *Set) { s.ivs = append(s.ivs[:0], o.ivs...) }
+
 // Add inserts iv, merging with any interval it overlaps or touches.
 func (s *Set) Add(iv Iv) {
 	if iv.Empty() {
@@ -82,7 +88,16 @@ func (s *Set) Add(iv Iv) {
 		}
 		j++
 	}
-	s.ivs = append(s.ivs[:i], append([]Iv{iv}, s.ivs[j:]...)...)
+	// Splice [i, j) down to the single merged interval in place; only a
+	// pure insertion (j == i) can grow the slice.
+	if j == i {
+		s.ivs = append(s.ivs, Iv{})
+		copy(s.ivs[i+1:], s.ivs[i:])
+		s.ivs[i] = iv
+		return
+	}
+	s.ivs[i] = iv
+	s.ivs = append(s.ivs[:i+1], s.ivs[j:]...)
 }
 
 // AddSet inserts every interval of o into s.
@@ -97,20 +112,36 @@ func (s *Set) Subtract(iv Iv) {
 	if iv.Empty() || len(s.ivs) == 0 {
 		return
 	}
-	var out []Iv
-	for _, cur := range s.ivs {
-		if !cur.Overlaps(iv) {
-			out = append(out, cur)
-			continue
-		}
-		if cur.Lo < iv.Lo {
-			out = append(out, Iv{cur.Lo, iv.Lo})
-		}
-		if cur.Hi > iv.Hi {
-			out = append(out, Iv{iv.Hi, cur.Hi})
-		}
+	// The affected window [i, j): intervals strictly before i end at or
+	// before iv.Lo, intervals from j start at or after iv.Hi; the window
+	// collapses to at most a left remnant and a right remnant.
+	i := sort.Search(len(s.ivs), func(k int) bool { return s.ivs[k].Hi > iv.Lo })
+	j := i
+	for j < len(s.ivs) && s.ivs[j].Lo < iv.Hi {
+		j++
 	}
-	s.ivs = out
+	if i == j {
+		return
+	}
+	var keep [2]Iv
+	nk := 0
+	if s.ivs[i].Lo < iv.Lo {
+		keep[nk] = Iv{s.ivs[i].Lo, iv.Lo}
+		nk++
+	}
+	if s.ivs[j-1].Hi > iv.Hi {
+		keep[nk] = Iv{iv.Hi, s.ivs[j-1].Hi}
+		nk++
+	}
+	// Splice the remnants over the window in place; only a split of a
+	// single interval into two (nk == 2, window of one) can grow the slice.
+	if nk > j-i {
+		s.ivs = append(s.ivs, Iv{})
+		copy(s.ivs[j+1:], s.ivs[j:])
+		j++
+	}
+	copy(s.ivs[i:], keep[:nk])
+	s.ivs = append(s.ivs[:i+nk], s.ivs[j:]...)
 }
 
 // SubtractSet removes every interval of o from s.

@@ -71,6 +71,14 @@ const (
 	CtrDecompBridges
 	CtrDecompAssists
 	CtrDecompOverlayFrags
+	// Decomposition memo cache (internal/decomp, router.Options.DecompCache).
+	// A cache hit returns the stored Result without re-running the oracle,
+	// so it increments only cache_hits — none of the decomp.* work counters
+	// above. Equivalence tests comparing cached vs uncached runs therefore
+	// zero the whole decomp.* family before diffing snapshots.
+	CtrDecompCacheHits
+	CtrDecompCacheMisses
+	CtrDecompCacheEvictions
 	// Intra-instance parallel net scheduler (internal/sched, driven by
 	// router.Options.NetWorkers). These counters exist only in parallel
 	// runs; equivalence tests comparing parallel vs serial results zero
@@ -85,35 +93,38 @@ const (
 )
 
 var counterNames = [numCounters]string{
-	CtrAstarSearches:      "astar.searches",
-	CtrAstarExpanded:      "astar.expanded",
-	CtrAstarPushes:        "astar.pushes",
-	CtrAstarPops:          "astar.pops",
-	CtrRouteAttempts:      "router.route_attempts",
-	CtrRouteRipups:        "router.ripups",
-	CtrRipOddCycle:        "router.rip_odd_cycle",
-	CtrRipInfeasible:      "router.rip_infeasible",
-	CtrRipWindow:          "router.rip_window",
-	CtrBlockerRips:        "router.blocker_rips",
-	CtrNoPath:             "router.no_path",
-	CtrRepairPasses:       "router.repair_passes",
-	CtrRepairRips:         "router.repair_rips",
-	CtrWindowChecks:       "window.checks",
-	CtrWindowResolved:     "window.resolved",
-	CtrWindowFailed:       "window.failed",
-	CtrFlipRuns:           "colorflip.dp_runs",
-	CtrFlipInfeasible:     "colorflip.dp_infeasible",
-	CtrFlipsApplied:       "colorflip.flips_applied",
-	CtrFlipsRejected:      "colorflip.flips_rejected",
-	CtrDecompositions:     "decomp.decompositions",
-	CtrDecompBlobs:        "decomp.blobs",
-	CtrDecompBridges:      "decomp.bridges",
-	CtrDecompAssists:      "decomp.assists",
-	CtrDecompOverlayFrags: "decomp.overlay_frags",
-	CtrSchedWaves:         "sched.waves",
-	CtrSchedSpecSearches:  "sched.spec_searches",
-	CtrSchedSpecHits:      "sched.spec_hits",
-	CtrSchedSpecRetries:   "sched.spec_retries",
+	CtrAstarSearches:        "astar.searches",
+	CtrAstarExpanded:        "astar.expanded",
+	CtrAstarPushes:          "astar.pushes",
+	CtrAstarPops:            "astar.pops",
+	CtrRouteAttempts:        "router.route_attempts",
+	CtrRouteRipups:          "router.ripups",
+	CtrRipOddCycle:          "router.rip_odd_cycle",
+	CtrRipInfeasible:        "router.rip_infeasible",
+	CtrRipWindow:            "router.rip_window",
+	CtrBlockerRips:          "router.blocker_rips",
+	CtrNoPath:               "router.no_path",
+	CtrRepairPasses:         "router.repair_passes",
+	CtrRepairRips:           "router.repair_rips",
+	CtrWindowChecks:         "window.checks",
+	CtrWindowResolved:       "window.resolved",
+	CtrWindowFailed:         "window.failed",
+	CtrFlipRuns:             "colorflip.dp_runs",
+	CtrFlipInfeasible:       "colorflip.dp_infeasible",
+	CtrFlipsApplied:         "colorflip.flips_applied",
+	CtrFlipsRejected:        "colorflip.flips_rejected",
+	CtrDecompositions:       "decomp.decompositions",
+	CtrDecompBlobs:          "decomp.blobs",
+	CtrDecompBridges:        "decomp.bridges",
+	CtrDecompAssists:        "decomp.assists",
+	CtrDecompOverlayFrags:   "decomp.overlay_frags",
+	CtrDecompCacheHits:      "decomp.cache_hits",
+	CtrDecompCacheMisses:    "decomp.cache_misses",
+	CtrDecompCacheEvictions: "decomp.cache_evictions",
+	CtrSchedWaves:           "sched.waves",
+	CtrSchedSpecSearches:    "sched.spec_searches",
+	CtrSchedSpecHits:        "sched.spec_hits",
+	CtrSchedSpecRetries:     "sched.spec_retries",
 }
 
 func (c CounterID) String() string {

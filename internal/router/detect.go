@@ -38,20 +38,27 @@ func (st *state) windowResolve(id int) (bad bool, hot []grid.Cell) {
 		}
 		window := bbox.Expand(3)
 
-		netsIn := map[int]bool{id: true}
+		if st.winNets == nil {
+			st.winNets = make(map[int]bool)
+		} else {
+			clear(st.winNets)
+		}
+		netsIn := st.winNets
+		netsIn[id] = true
 		st.frags[l].Query(window, func(f fragstore.Frag) { netsIn[f.Net] = true })
-		ids := make([]int, 0, len(netsIn))
+		ids := st.winIDs[:0]
 		for n := range netsIn {
 			ids = append(ids, n)
 		}
 		sort.Ints(ids)
+		st.winIDs = ids
 
 		// Baseline: the window without the new net.
-		base := decomp.DecomposeCutR(st.windowLayout(l, ids, id), st.rec)
+		base := st.decompLayer(l, st.windowLayout(l, ids, id))
 		baseBad := windowBadness(base)
 
 		// Current coloring.
-		cur := decomp.DecomposeCutR(st.windowLayout(l, ids, -1), st.rec)
+		cur := st.decompLayer(l, st.windowLayout(l, ids, -1))
 		curBad := windowBadness(cur)
 		if curBad <= baseBad {
 			if st.rec.Tracing() {
@@ -76,10 +83,18 @@ func (st *state) windowResolve(id int) (bad bool, hot []grid.Cell) {
 			if !r.Feasible {
 				continue
 			}
+			if sameColors(r.Colors, saved) {
+				// The DP reproduced the assignment the window was just
+				// decomposed under, so this attempt would score exactly
+				// curBad (> baseBad): reject it without re-running the
+				// oracle or touching st.colors at all.
+				st.rec.Inc(obs.CtrFlipsRejected)
+				continue
+			}
 			for n, col := range r.Colors {
 				st.colors[l][n] = col
 			}
-			res := decomp.DecomposeCutR(st.windowLayout(l, ids, -1), st.rec)
+			res := st.decompLayer(l, st.windowLayout(l, ids, -1))
 			if windowBadness(res) <= baseBad {
 				resolved = true
 				break
@@ -120,6 +135,34 @@ func (st *state) windowResolve(id int) (bad bool, hot []grid.Cell) {
 		bad = true
 	}
 	return bad, hot
+}
+
+// sameColors reports whether the flipping DP's assignment is identical to
+// the coloring it started from.
+func sameColors(got, cur map[int]decomp.Color) bool {
+	if len(got) != len(cur) {
+		return false
+	}
+	for n, c := range got {
+		cc, ok := cur[n]
+		if !ok || cc != c {
+			return false
+		}
+	}
+	return true
+}
+
+// decompLayer runs the cut-process oracle on one layer's layout, through
+// that layer's memo cache when the run has one (Options.DecompCache).
+// Window checks, repair passes and final metrics all funnel through here,
+// so they share entries: a repeated window or an unchanged full layer is
+// a hit. Cache state is single-goroutine by construction — every caller
+// runs in the serial commit phase, even under Options.NetWorkers.
+func (st *state) decompLayer(l int, ly decomp.Layout) *decomp.Result {
+	if st.caches == nil {
+		return decomp.DecomposeCutR(ly, st.rec)
+	}
+	return st.caches[l].DecomposeCut(ly, st.rec)
 }
 
 // windowBadness scores a window decomposition by its forbidden artifacts:
@@ -226,8 +269,8 @@ func (st *state) repairConflicts() {
 // violations of the current full layout.
 func (st *state) offenders() []int {
 	bad := map[int]bool{}
-	for _, ly := range st.res.Layouts() {
-		res := decomp.DecomposeCutR(ly, st.rec)
+	for l, ly := range st.res.Layouts() {
+		res := st.decompLayer(l, ly)
 		for _, cf := range res.Conflicts {
 			bad[ly.Pats[cf.Pat].Net] = true
 		}

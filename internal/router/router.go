@@ -54,6 +54,19 @@ type Options struct {
 	DirPenalty int
 	// MaxExpand bounds A* node expansions per attempt (0 = unbounded).
 	MaxExpand int
+	// DecompCache memoizes the decomposition oracle per layer by layout
+	// content (internal/decomp.Cache): window checks, repair passes and the
+	// final-metrics evaluation reuse the stored Result whenever they ask
+	// about a layout already decomposed this run. Cached Results are shared
+	// and immutable (the sadplint resultwrite rule enforces this). Routing
+	// output is byte-identical with the cache on or off; turning it off
+	// selects the uncached oracle for ablation or debugging.
+	DecompCache bool
+	// DecompParanoid makes the caches retain a private deep copy of every
+	// stored Result so Result.DecompCacheCheck can prove no caller wrote
+	// through shared cache data. Test/debug facility: costs one deep copy
+	// per cache miss. Implies nothing unless DecompCache is on.
+	DecompParanoid bool
 	// NetWorkers >= 2 routes waves of mutually independent nets with that
 	// many concurrent first-search workers (internal/sched). The result —
 	// paths, colors, counters, traces — is byte-identical to the serial
@@ -86,6 +99,7 @@ func Defaults() Options {
 		FinalRepair:     true,
 		DirPenalty:      2,
 		MaxExpand:       400000,
+		DecompCache:     true,
 	}
 }
 
@@ -102,6 +116,7 @@ type Result struct {
 	Grid            *grid.Grid
 	frags           []*fragstore.Store
 	nl              *netlist.Netlist
+	caches          []*decomp.Cache // per-layer memo, nil when routed uncached
 }
 
 // Routability returns the fraction of nets routed, in percent.
@@ -140,6 +155,38 @@ func (r *Result) Layouts() []decomp.Layout {
 	return out
 }
 
+// DecomposeLayersR decomposes every routed layer with the cut-process
+// oracle and merges the results, going through the run's per-layer memo
+// caches when it was routed with Options.DecompCache — the final-metrics
+// evaluation then reuses entries the window checks and repair passes
+// already paid for. A nil rec disables counter reporting.
+func (r *Result) DecomposeLayersR(rec *obs.Recorder) ([]*decomp.Result, decomp.Totals) {
+	layouts := r.Layouts()
+	if r.caches == nil {
+		return decomp.DecomposeLayersR(layouts, rec)
+	}
+	out := make([]*decomp.Result, len(layouts))
+	var tot decomp.Totals
+	for l, ly := range layouts {
+		out[l] = r.caches[l].DecomposeCut(ly, rec)
+		tot.Accumulate(out[l])
+	}
+	return out, tot
+}
+
+// DecompCacheCheck verifies the run's decomposition caches against the
+// deep copies retained under Options.DecompParanoid and reports the first
+// cached Result some caller mutated. Nil when consistent, when the run
+// was routed uncached, or when DecompParanoid was off.
+func (r *Result) DecompCacheCheck() error {
+	for _, c := range r.caches {
+		if err := c.CheckIntegrity(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // state carries the per-run working set.
 type state struct {
 	nl     *netlist.Netlist
@@ -151,6 +198,7 @@ type state struct {
 	colors []map[int]decomp.Color
 	locks  []map[int]decomp.Color // colors pinned by the cut-conflict check
 	pen    map[grid.Cell]int      // rip-up cost inflation
+	caches []*decomp.Cache        // per-layer decomposition memo (Options.DecompCache)
 	opt    Options
 	res    *Result
 	rec    *obs.Recorder // nil-safe observability recorder
@@ -167,6 +215,10 @@ type state struct {
 	// Both are nil in serial runs; DirtySet methods are nil-safe.
 	dirty *sched.DirtySet
 	spec  map[int]*specResult
+	// winNets and winIDs are windowResolve's per-window net set and sorted
+	// id list, cleared and reused across windows instead of reallocated.
+	winNets map[int]bool
+	winIDs  []int
 }
 
 // Route runs the overlay-aware detailed router on a netlist.
@@ -200,12 +252,20 @@ func Route(nl *netlist.Netlist, ds rules.Set, opt Options) *Result {
 		st.colors[l] = make(map[int]decomp.Color)
 		st.locks[l] = make(map[int]decomp.Color)
 	}
+	if opt.DecompCache {
+		st.caches = make([]*decomp.Cache, nl.Layers)
+		for l := range st.caches {
+			st.caches[l] = decomp.NewCache(0)
+			st.caches[l].Paranoid = opt.DecompParanoid
+		}
+	}
 	st.res = &Result{
 		Paths:  make(map[int][]grid.Cell),
 		Colors: st.colors,
 		Grid:   st.g,
 		frags:  st.frags,
 		nl:     nl,
+		caches: st.caches,
 	}
 
 	// Net ordering: shortest HPWL first (standard detailed-routing order).

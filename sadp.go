@@ -96,9 +96,18 @@ func Route(nl *Netlist, ds Rules, opt Options) *Result {
 }
 
 // Evaluate decomposes a routing result with the cut-process oracle and
-// returns per-layer results plus aggregate totals.
+// returns per-layer results plus aggregate totals. Runs routed with
+// Options.DecompCache (the default) answer from the run's decomposition
+// memo, reusing entries the router's own conflict checks already paid
+// for; the returned results are shared with the cache and must not be
+// mutated.
 func Evaluate(res *Result) ([]*DecompResult, Totals) {
-	return decomp.DecomposeLayers(res.Layouts())
+	return res.DecomposeLayersR(nil)
+}
+
+// EvaluateR is Evaluate reporting oracle and cache counters to rec.
+func EvaluateR(res *Result, rec *Recorder) ([]*DecompResult, Totals) {
+	return res.DecomposeLayersR(rec)
 }
 
 // DecomposeCut runs the cut-process oracle on one layer's layout.
