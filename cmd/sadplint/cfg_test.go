@@ -1,0 +1,341 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses a function body from source for CFG tests.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	file, err := parser.ParseFile(token.NewFileSet(), "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return file.Decls[0].(*ast.FuncDecl).Body
+}
+
+// reaches reports whether the exit node is reachable from entry by
+// following successor edges.
+func reaches(from, to *cfgNode) bool {
+	seen := map[*cfgNode]bool{}
+	var walk func(n *cfgNode) bool
+	walk = func(n *cfgNode) bool {
+		if n == to {
+			return true
+		}
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+		for _, s := range n.succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+// nodeFor finds the unique CFG node owning a statement of the given
+// dynamic type, failing the test on zero or multiple matches.
+func nodeFor[T ast.Stmt](t *testing.T, g *funcCFG) *cfgNode {
+	t.Helper()
+	var found *cfgNode
+	for _, n := range g.nodes {
+		if _, ok := n.stmt.(T); ok {
+			if found != nil {
+				t.Fatal("multiple nodes match the statement type")
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatal("no node matches the statement type")
+	}
+	return found
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildCFG(parseBody(t, "x := 1\ny := x\n_ = y"))
+	if !reaches(g.entry, g.exit) {
+		t.Error("straight-line body must reach exit")
+	}
+	// 3 statements + synthetic exit
+	if len(g.nodes) != 4 {
+		t.Errorf("got %d nodes, want 4", len(g.nodes))
+	}
+	for _, n := range g.nodes {
+		if n != g.exit && len(n.succs) != 1 {
+			t.Errorf("straight-line node has %d successors", len(n.succs))
+		}
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	g := buildCFG(parseBody(t, "if x := 1; x > 0 {\n\treturn\n} else {\n\tx--\n}"))
+	cond := nodeFor[*ast.IfStmt](t, g)
+	if len(cond.succs) != 2 {
+		t.Fatalf("if condition has %d successors, want 2 (then/else)", len(cond.succs))
+	}
+	ret := nodeFor[*ast.ReturnStmt](t, g)
+	if len(ret.succs) != 1 || ret.succs[0] != g.exit {
+		t.Error("return must edge straight to exit")
+	}
+	// the init statement x := 1 gets its own node before the condition
+	init := nodeFor[*ast.AssignStmt](t, g)
+	if g.entry != init || init.succs[0] != cond {
+		t.Error("if init should be the entry node feeding the condition")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	g := buildCFG(parseBody(t, "for i := 0; i < 3; i++ {\n\t_ = i\n}"))
+	cond := nodeFor[*ast.ForStmt](t, g)
+	if len(cond.succs) != 2 {
+		t.Fatalf("for condition has %d successors, want 2 (body/after)", len(cond.succs))
+	}
+	post := nodeFor[*ast.IncDecStmt](t, g)
+	if len(post.succs) != 1 || post.succs[0] != cond {
+		t.Error("post statement must back-edge to the condition")
+	}
+}
+
+func TestCFGInfiniteForOnlyExitsViaBreak(t *testing.T) {
+	g := buildCFG(parseBody(t, "for {\n\t_ = 1\n}"))
+	if reaches(g.entry, g.exit) {
+		t.Error("for{} without break must not reach exit")
+	}
+	g = buildCFG(parseBody(t, "for {\n\tbreak\n}"))
+	if !reaches(g.entry, g.exit) {
+		t.Error("for{} with break must reach exit")
+	}
+}
+
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	g := buildCFG(parseBody(t, `outer:
+	for i := 0; i < 3; i++ {
+		for {
+			if i > 1 {
+				break outer
+			}
+			continue outer
+		}
+	}`))
+	// break outer must bypass the inner for{}: exit reachable even though
+	// the inner loop has no own break.
+	if !reaches(g.entry, g.exit) {
+		t.Error("break outer must reach past both loops to exit")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := buildCFG(parseBody(t, `switch x := 1; x {
+	case 1:
+		fallthrough
+	case 2:
+		return
+	default:
+		_ = x
+	}`))
+	disp := nodeFor[*ast.SwitchStmt](t, g)
+	if len(disp.succs) != 3 {
+		t.Errorf("switch with default dispatches to %d entries, want 3", len(disp.succs))
+	}
+	ft := nodeFor[*ast.BranchStmt](t, g)
+	ret := nodeFor[*ast.ReturnStmt](t, g)
+	if len(ft.succs) != 1 || ft.succs[0] != ret {
+		t.Error("fallthrough must edge into the next case body")
+	}
+}
+
+func TestCFGSwitchNoDefaultFallsThrough(t *testing.T) {
+	g := buildCFG(parseBody(t, "switch 1 {\ncase 1:\n\treturn\n}\n_ = 2"))
+	disp := nodeFor[*ast.SwitchStmt](t, g)
+	// one case entry + the no-default edge to the following statement
+	if len(disp.succs) != 2 {
+		t.Errorf("switch without default has %d successors, want 2", len(disp.succs))
+	}
+}
+
+func TestCFGPanicIsTerminal(t *testing.T) {
+	g := buildCFG(parseBody(t, "panic(\"boom\")\n_ = 1"))
+	var panicNode *cfgNode
+	for _, n := range g.nodes {
+		if es, ok := n.stmt.(*ast.ExprStmt); ok {
+			if _, isCall := es.X.(*ast.CallExpr); isCall {
+				panicNode = n
+			}
+		}
+	}
+	if panicNode == nil {
+		t.Fatal("panic node not found")
+	}
+	if len(panicNode.succs) != 1 || panicNode.succs[0] != g.exit {
+		t.Error("panic(...) must edge straight to exit, not fall through")
+	}
+}
+
+func TestCFGGotoForwardAndBackward(t *testing.T) {
+	g := buildCFG(parseBody(t, "x := 0\nagain:\nx++\nif x < 3 {\n\tgoto again\n}\ngoto done\n_ = x\ndone:\nreturn"))
+	if !reaches(g.entry, g.exit) {
+		t.Error("goto-shaped body must reach exit")
+	}
+	// preds of exit include the final return
+	ret := nodeFor[*ast.ReturnStmt](t, g)
+	found := false
+	for _, p := range g.preds[g.exit] {
+		if p == ret {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("exit preds must include the return node")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	g := buildCFG(parseBody(t, `ch := make(chan int)
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+		return
+	}`))
+	sel := nodeFor[*ast.SelectStmt](t, g)
+	if len(sel.succs) != 2 {
+		t.Errorf("select has %d successors, want 2 (one per clause)", len(sel.succs))
+	}
+}
+
+func TestIdsetOps(t *testing.T) {
+	a := idset{1: {}, 2: {}}
+	b := idset{2: {}, 3: {}}
+	u := union(a, b)
+	if !u.has(1) || !u.has(2) || !u.has(3) || len(u) != 3 {
+		t.Errorf("union = %v", u)
+	}
+	if u.has(1) && len(a) != 2 {
+		t.Error("union must not mutate its left operand")
+	}
+	if got := union(a, idset{}); !got.equal(a) {
+		t.Error("union with empty right should be identity")
+	}
+	if got := union(nil, b); !got.equal(b) {
+		t.Error("union with nil left should clone right")
+	}
+	if a.equal(b) || !a.equal(a.clone()) {
+		t.Error("equal/clone misbehave")
+	}
+}
+
+// TestForwardFlowJoin checks the may-analysis join: a fact generated on
+// one branch of an if survives to the statement after the join.
+func TestForwardFlowJoin(t *testing.T) {
+	g := buildCFG(parseBody(t, "if 1 > 0 {\n\t_ = 1\n} else {\n\t_ = 2\n}\n_ = 3"))
+	// generate fact 1 at the then-branch node (_ = 1) only
+	facts := forwardFlow(g, func(n *cfgNode, in idset) idset {
+		if as, ok := n.stmt.(*ast.AssignStmt); ok {
+			if lit, ok := as.Rhs[0].(*ast.BasicLit); ok && lit.Value == "1" {
+				out := in.clone()
+				out[1] = struct{}{}
+				return out
+			}
+		}
+		return in
+	})
+	if !facts[g.exit].has(1) {
+		t.Error("fact generated on one branch must reach exit (may-analysis)")
+	}
+}
+
+// TestForwardFlowKill checks that a kill on the only path stops the fact.
+func TestForwardFlowKill(t *testing.T) {
+	g := buildCFG(parseBody(t, "_ = 1\n_ = 2\n_ = 3"))
+	facts := forwardFlow(g, func(n *cfgNode, in idset) idset {
+		as, ok := n.stmt.(*ast.AssignStmt)
+		if !ok {
+			return in
+		}
+		lit := as.Rhs[0].(*ast.BasicLit)
+		switch lit.Value {
+		case "1":
+			out := in.clone()
+			out[7] = struct{}{}
+			return out
+		case "2":
+			out := in.clone()
+			delete(out, 7)
+			return out
+		}
+		return in
+	})
+	if facts[g.exit].has(7) {
+		t.Error("fact killed on the only path must not reach exit")
+	}
+}
+
+// TestForwardFlowLoopFixpoint: a fact generated inside a loop must
+// propagate around the back edge to the loop condition's in-set.
+func TestForwardFlowLoopFixpoint(t *testing.T) {
+	g := buildCFG(parseBody(t, "var i int\nfor i < 3 {\n\t_ = i\n\ti++\n}"))
+	body := nodeFor[*ast.AssignStmt](t, g)
+	facts := forwardFlow(g, func(n *cfgNode, in idset) idset {
+		if n == body {
+			out := in.clone()
+			out[9] = struct{}{}
+			return out
+		}
+		return in
+	})
+	cond := nodeFor[*ast.ForStmt](t, g)
+	if !facts[cond].has(9) {
+		t.Error("fact from the loop body must flow around the back edge")
+	}
+	if !facts[g.exit].has(9) {
+		t.Error("fact from the loop body must reach exit via the cond-false edge")
+	}
+}
+
+// TestLocalInspectPruning: localInspect on a compound statement must visit
+// only the node-local expressions, not nested bodies or func literals.
+func TestLocalInspectPruning(t *testing.T) {
+	body := parseBody(t, "if recover() != nil {\n\tdrop()\n}\n_ = func() { inner() }")
+	var calls []string
+	collect := func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if id, ok := c.Fun.(*ast.Ident); ok {
+				calls = append(calls, id.Name)
+			}
+		}
+		return true
+	}
+	localInspect(body.List[0], collect) // the if: only its condition
+	localInspect(body.List[1], collect) // the assignment: func lit body pruned
+	for _, c := range calls {
+		if c == "drop" || c == "inner" {
+			t.Errorf("localInspect leaked into a nested body: saw call %q", c)
+		}
+	}
+	if len(calls) != 1 || calls[0] != "recover" {
+		t.Errorf("expected only the recover() condition call, got %v", calls)
+	}
+}
+
+func TestFuncBodies(t *testing.T) {
+	file, err := parser.ParseFile(token.NewFileSet(), "t.go", `package p
+func a() { _ = func() {} }
+func b()
+var v = func() int { return 0 }
+`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(funcBodies(file)); got != 3 {
+		t.Errorf("funcBodies found %d bodies, want 3 (a, its literal, v's literal)", got)
+	}
+}

@@ -154,7 +154,11 @@ func (l *loader) check(p *lintPkg) {
 			}
 		}
 	}
-	info := &types.Info{Types: make(map[ast.Expr]types.TypeAndValue)}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
 	conf := types.Config{
 		Importer: importerFunc(l.importPkg),
 		Error:    func(error) {}, // lenient: partial info is enough

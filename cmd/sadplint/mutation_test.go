@@ -1,0 +1,109 @@
+package main
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPoolLeakMutation is a mutation-style self-test of the poolleak rule:
+// it copies the real module into a temp dir, deletes the `defer e.Release()`
+// in internal/decomp/cut.go, and asserts the linter reports the leak. The
+// repo itself lints clean (TestRepoIsClean), so this proves the clean run
+// is the rule working — not the rule being inert.
+func TestPoolLeakMutation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("copies the module tree")
+	}
+	root := copyModule(t, "../..")
+
+	target := filepath.Join(root, "internal", "decomp", "cut.go")
+	src, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated, removed := removeFirstLine(string(src), "defer e.Release()")
+	if !removed {
+		t.Fatalf("internal/decomp/cut.go no longer contains `defer e.Release()`; update the mutation target")
+	}
+	if err := os.WriteFile(target, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := newLoader(root)
+	if err != nil {
+		t.Fatalf("newLoader on mutated copy: %v", err)
+	}
+	var hits []string
+	for _, f := range lintModule(l, []string{"./..."}) {
+		if f.rule == rulePoolLeak {
+			hits = append(hits, f.String())
+		}
+	}
+	if len(hits) == 0 {
+		t.Fatal("poolleak did not fire on the mutated module: the rule would miss a real leak")
+	}
+	found := false
+	for _, h := range hits {
+		if strings.Contains(h, "internal/decomp/cut.go") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("poolleak fired, but not at the mutated file:\n%s", strings.Join(hits, "\n"))
+	}
+}
+
+// copyModule copies go.mod and every non-test .go file of the module at
+// src into a fresh temp dir, preserving layout.
+func copyModule(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, rerr := filepath.Rel(src, path)
+		if rerr != nil {
+			return rerr
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if rel != "." && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if rel != "go.mod" &&
+			(!strings.HasSuffix(rel, ".go") || strings.HasSuffix(rel, "_test.go")) {
+			return nil
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		out := filepath.Join(dst, rel)
+		if rerr := os.MkdirAll(filepath.Dir(out), 0o755); rerr != nil {
+			return rerr
+		}
+		return os.WriteFile(out, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// removeFirstLine deletes the first line containing needle.
+func removeFirstLine(src, needle string) (string, bool) {
+	lines := strings.Split(src, "\n")
+	for i, line := range lines {
+		if strings.Contains(line, needle) {
+			return strings.Join(append(lines[:i], lines[i+1:]...), "\n"), true
+		}
+	}
+	return src, false
+}

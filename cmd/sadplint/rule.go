@@ -1,0 +1,300 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The rule engine. Every rule is a self-registering pass: its file calls
+// register() from init() with a name, a one-line doc string, and a file-
+// and/or package-level run function. The engine owns everything shared —
+// loading, the `//lint:allow` directive index, the `//sadp:immutable`
+// marker table, CFG construction and caching — so a rule is only its
+// domain logic. docs/lint-rules.md catalogues the rules themselves.
+
+// finding is one reported violation.
+type finding struct {
+	pos  token.Position
+	rule string
+	msg  string
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.pos.Filename, f.pos.Line, f.pos.Column, f.rule, f.msg)
+}
+
+// ruleDef describes one registered rule.
+type ruleDef struct {
+	name string
+	doc  string
+	// file runs once per file of every selected package.
+	file func(*pass)
+	// pkg runs once per selected package (for package-level properties
+	// like pkgdoc that no single line owns).
+	pkg func(l *loader, p *lintPkg) []finding
+}
+
+var registry []ruleDef
+
+func register(r ruleDef) { registry = append(registry, r) }
+
+// ruleDirective names the pseudo-rule for malformed or unknown lint
+// directives; it is not registered (a broken directive must not be able
+// to suppress itself).
+const ruleDirective = "directive"
+
+// knownRules returns the set of names valid in a lint:allow directive.
+func knownRules() map[string]bool {
+	out := make(map[string]bool, len(registry))
+	for _, r := range registry {
+		out[r.name] = true
+	}
+	return out
+}
+
+// typeKey identifies a named type across the module.
+type typeKey struct {
+	pkgPath string
+	name    string
+}
+
+// markerTable is the module-wide result of the marker pre-pass: types
+// whose declarations carry a `//sadp:immutable` doc-comment line.
+type markerTable struct {
+	immutable map[typeKey]bool
+}
+
+// lintModule runs every registered rule over the packages selected by
+// patterns and returns the surviving findings sorted by position. Markers
+// are collected from ALL packages first, so a rule can see a marked type
+// declared in a package the patterns did not select.
+func lintModule(l *loader, patterns []string) []finding {
+	sort.Slice(registry, func(i, j int) bool { return registry[i].name < registry[j].name })
+	markers := collectMarkers(l)
+	known := knownRules()
+	var out []finding
+	for _, p := range l.sorted() {
+		selected := false
+		for _, pat := range patterns {
+			if p.match(pat) {
+				selected = true
+				break
+			}
+		}
+		if !selected {
+			continue
+		}
+		for _, file := range p.files {
+			out = append(out, lintFile(l, p, file, markers, known)...)
+		}
+		for _, r := range registry {
+			if r.pkg != nil {
+				out = append(out, r.pkg(l, p)...)
+			}
+		}
+	}
+	for i := range out {
+		if rel, err := filepath.Rel(l.root, out[i].pos.Filename); err == nil {
+			out[i].pos.Filename = filepath.ToSlash(rel)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.rule < b.rule
+	})
+	return out
+}
+
+// collectMarkers scans every package for `//sadp:immutable` lines in type
+// declaration doc comments. The marker claims the type's values are
+// shared after publication: writes through their fields outside the home
+// package trip the immutable rule.
+func collectMarkers(l *loader) *markerTable {
+	m := &markerTable{immutable: map[typeKey]bool{}}
+	for _, p := range l.sorted() {
+		for _, file := range p.files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if hasMarker(gd.Doc, "sadp:immutable") || hasMarker(ts.Doc, "sadp:immutable") ||
+						hasMarker(ts.Comment, "sadp:immutable") {
+						m.immutable[typeKey{p.importPath, ts.Name.Name}] = true
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// hasMarker reports whether a comment group contains a `//<marker>` line
+// (optionally followed by explanatory text after whitespace). Like Go's
+// own directives, the marker must follow `//` immediately: `// sadp:...`
+// with a space is prose, not a directive.
+func hasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, cm := range cg.List {
+		text, ok := strings.CutPrefix(cm.Text, "//"+marker)
+		if !ok {
+			continue
+		}
+		if text == "" || text[0] == ' ' || text[0] == '\t' {
+			return true
+		}
+	}
+	return false
+}
+
+// lintFile runs every file-level rule over one file and filters the
+// findings through the lint:allow directives.
+func lintFile(l *loader, p *lintPkg, file *ast.File, markers *markerTable, known map[string]bool) []finding {
+	ps := &pass{
+		l:       l,
+		p:       p,
+		file:    file,
+		markers: markers,
+		allow:   map[int]map[string]bool{},
+		cfgs:    map[*ast.BlockStmt]*funcCFG{},
+	}
+	ps.collectDirectives(known)
+	for _, r := range registry {
+		if r.file != nil {
+			r.file(ps)
+		}
+	}
+	var kept []finding
+	for _, f := range ps.findings {
+		if f.rule != ruleDirective && (ps.allow[f.pos.Line][f.rule] || ps.allow[f.pos.Line-1][f.rule]) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}
+
+// pass is the per-file context handed to every file-level rule.
+type pass struct {
+	l        *loader
+	p        *lintPkg
+	file     *ast.File
+	markers  *markerTable
+	allow    map[int]map[string]bool // line -> rules allowed on that line
+	findings []finding
+	cfgs     map[*ast.BlockStmt]*funcCFG // shared CFG cache across rules
+}
+
+func (c *pass) report(pos token.Pos, rule, format string, args ...any) {
+	c.findings = append(c.findings, finding{
+		pos:  c.l.fset.Position(pos),
+		rule: rule,
+		msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// inInternal reports whether the file's package is a library package
+// (under internal/), where the library-only rules apply.
+func (c *pass) inInternal() bool {
+	return strings.HasPrefix(c.p.relDir, "internal/") || c.p.relDir == "internal"
+}
+
+// cfgFor returns the (cached) CFG of a function body.
+func (c *pass) cfgFor(body *ast.BlockStmt) *funcCFG {
+	if g, ok := c.cfgs[body]; ok {
+		return g
+	}
+	g := buildCFG(body)
+	c.cfgs[body] = g
+	return g
+}
+
+// typeOf returns the checked type of e, or nil when type checking could
+// not resolve it.
+func (c *pass) typeOf(e ast.Expr) types.Type {
+	if c.p.info == nil {
+		return nil
+	}
+	if tv, ok := c.p.info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// objectOf resolves an identifier to its declared or used object, or nil.
+func (c *pass) objectOf(id *ast.Ident) types.Object {
+	if c.p.info == nil {
+		return nil
+	}
+	if o := c.p.info.Defs[id]; o != nil {
+		return o
+	}
+	return c.p.info.Uses[id]
+}
+
+// calleeFunc resolves a call expression's callee to a *types.Func (direct
+// calls and method calls), or nil for indirect/unresolved calls.
+func (c *pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := c.objectOf(id).(*types.Func)
+	return fn
+}
+
+// collectDirectives indexes `//lint:allow <rule> <justification>` comments
+// by line. A directive with no rule, an unknown rule name, or no
+// justification is itself a finding and suppresses nothing.
+func (c *pass) collectDirectives(known map[string]bool) {
+	for _, cg := range c.file.Comments {
+		for _, cm := range cg.List {
+			rest, ok := strings.CutPrefix(cm.Text, "//lint:allow")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				c.report(cm.Pos(), ruleDirective,
+					"lint:allow needs a rule name and a justification: //lint:allow <rule> <why>")
+				continue
+			}
+			if !known[fields[0]] {
+				c.report(cm.Pos(), ruleDirective,
+					"lint:allow names unknown rule %q (see docs/lint-rules.md for the catalogue)", fields[0])
+				continue
+			}
+			line := c.l.fset.Position(cm.Pos()).Line
+			if c.allow[line] == nil {
+				c.allow[line] = map[string]bool{}
+			}
+			c.allow[line][fields[0]] = true
+		}
+	}
+}

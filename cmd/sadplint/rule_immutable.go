@@ -1,0 +1,122 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// immutable: writes through fields of a `//sadp:immutable`-marked type
+// outside its home package. The marker is a doc-comment line on the type
+// declaration:
+//
+//	// Result summarizes one layer's decomposition.
+//	//
+//	//sadp:immutable — cached Results are shared by every caller.
+//	type Result struct { ... }
+//
+// It claims the type's values are published to multiple readers (a memo
+// cache, a content-addressed store), so any assignment or ++/-- whose
+// target reaches through a field — directly, via an indexed element, or
+// through a nested struct — corrupts data other holders rely on. The
+// home package (where the type is declared) is exempt: it builds the
+// values before publication. Callers needing a private copy clone first
+// and whitelist the clone's ownership with lint:allow.
+//
+// This generalizes the PR 5 `resultwrite` rule, which hardcoded
+// decomp.Result; the decomposition oracle now just carries the marker,
+// and the TPL oracle's cache (ROADMAP) can tag its own types.
+
+const ruleImmutable = "immutable"
+
+func init() {
+	register(ruleDef{
+		name: ruleImmutable,
+		doc:  "no writes through //sadp:immutable-marked struct fields outside the home package",
+		file: checkImmutable,
+	})
+}
+
+func checkImmutable(c *pass) {
+	if len(c.markers.immutable) == 0 {
+		return
+	}
+	flag := func(e ast.Expr, op string) {
+		if typ, fld := c.immutableField(e); fld != "" {
+			c.report(e.Pos(),
+				ruleImmutable,
+				"%s through %s field %s: //sadp:immutable values are shared outside their home package", op, typ, fld)
+		}
+	}
+	ast.Inspect(c.file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				flag(lhs, "write")
+			}
+		case *ast.IncDecStmt:
+			flag(n.X, n.Tok.String())
+		}
+		return true
+	})
+}
+
+// immutableField unwraps an assignment target down through parens, stars,
+// indexes and selectors and returns the first field selected off a marked
+// immutable value declared outside this package, with the type's display
+// name; ("", "") when the target never touches one.
+func (c *pass) immutableField(e ast.Expr) (string, string) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if named := c.markedImmutable(c.typeOf(x.X)); named != "" {
+				return named, x.Sel.Name
+			}
+			e = x.X
+		default:
+			return "", ""
+		}
+	}
+}
+
+// markedImmutable reports (by display name) whether t is (a pointer to) a
+// named type carrying the //sadp:immutable marker whose home package is
+// not the one being linted.
+func (c *pass) markedImmutable(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	path := obj.Pkg().Path()
+	if path == c.p.importPath {
+		return "" // the home package builds values before publication
+	}
+	if !c.markers.immutable[typeKey{path, obj.Name()}] {
+		return ""
+	}
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	return base + "." + obj.Name()
+}

@@ -1,0 +1,320 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// poolleak: every pool handle acquired into a local variable must reach a
+// Release on ALL control-flow paths out of the function. The pooled
+// engines (internal/astar, internal/decomp — any internal package whose
+// Acquire the call resolves to) back long-lived servers: a handle that
+// escapes the pool on even one early-return path is a slow starvation
+// leak that no test catches until sadpd has been up for a week.
+//
+// The analysis is an intraprocedural forward may-analysis over the
+// function CFG: an Acquire into a local generates an "open" fact; the
+// fact is killed by
+//
+//   - v.Release() executed on the path,
+//   - defer v.Release() (or a defer closure that calls v.Release())
+//     executed on the path — defers also run on panic, so a reached defer
+//     covers the panic edges, which is why it is the preferred idiom, and
+//   - ownership transfer: v stored into a field/element/another variable,
+//     passed as a call argument, returned, sent on a channel, or captured
+//     by a non-defer closure. Transfer ends intraprocedural tracking; the
+//     new owner's path is its own function's problem. A plain receiver
+//     use — v.Compute(), including `return v.Compute()` — is NOT a
+//     transfer: only the method's result leaves the function.
+//
+// Acquires assigned directly into fields or elements (c.eng =
+// astar.Acquire(g)) are ownership transfers at birth and are not tracked.
+// A handle still open on any path into the exit node — including paths
+// through explicit panic(...) statements with no defer registered — is
+// reported at its Acquire site.
+
+const rulePoolLeak = "poolleak"
+
+func init() {
+	register(ruleDef{
+		name: rulePoolLeak,
+		doc:  "pool Acquire results must be Released on every path (defer or all return/panic edges)",
+		file: checkPoolLeak,
+	})
+}
+
+func checkPoolLeak(c *pass) {
+	for _, body := range funcBodies(c.file) {
+		checkPoolLeakFunc(c, body)
+	}
+}
+
+// tracked is one local pool handle under analysis.
+type trackedHandle struct {
+	obj types.Object
+	pos token.Pos // the Acquire call, where a leak is reported
+}
+
+func checkPoolLeakFunc(c *pass, body *ast.BlockStmt) {
+	// First sweep: find Acquire-into-local sites. No sites, no CFG.
+	var handles []trackedHandle
+	ids := map[types.Object]int{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested literals get their own run
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || i >= len(as.Lhs) || !c.isPoolAcquire(call) {
+				continue
+			}
+			id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue // field/element target: ownership transfer at birth
+			}
+			obj := c.objectOf(id)
+			if obj == nil {
+				continue
+			}
+			if _, seen := ids[obj]; !seen {
+				ids[obj] = len(handles)
+				handles = append(handles, trackedHandle{obj: obj, pos: call.Pos()})
+			}
+		}
+		return true
+	})
+	if len(handles) == 0 {
+		return
+	}
+
+	cfg := c.cfgFor(body)
+	transfer := func(n *cfgNode, in idset) idset {
+		out := in
+		gen := func(id int) {
+			if !out.has(id) {
+				out = out.clone()
+				out[id] = struct{}{}
+			}
+		}
+		kill := func(id int) {
+			if out.has(id) {
+				out = out.clone()
+				delete(out, id)
+			}
+		}
+		// Defer statements: a defer that releases (or captures) the handle
+		// kills the fact at the point the defer is registered.
+		if ds, ok := n.stmt.(*ast.DeferStmt); ok {
+			for obj, id := range ids {
+				if deferReleases(c, ds, obj) || exprMentionsObj(c, ds.Call, obj) {
+					kill(id)
+				}
+			}
+			return out
+		}
+		localInspect(n.stmt, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range x.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if ok && i < len(x.Lhs) && c.isPoolAcquire(call) {
+						if lid, lok := ast.Unparen(x.Lhs[i]).(*ast.Ident); lok {
+							if id, tracked := ids[c.objectOf(lid)]; tracked {
+								gen(id)
+								continue
+							}
+						}
+					}
+					// Any other RHS mentioning a handle — outside a plain
+					// receiver position — is an alias / transfer: tracking
+					// ends. `x := v.Compute()` keeps v tracked.
+					for obj, id := range ids {
+						if escapesObj(c, rhs, obj) {
+							kill(id)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				// v.Release() kills; v.Method() is a plain receiver use;
+				// v passed as an argument is a transfer.
+				if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+					if rid, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+						if id, tracked := ids[c.objectOf(rid)]; tracked {
+							if sel.Sel.Name == "Release" {
+								kill(id)
+							}
+							// receiver use: fall through to scan args only
+							for _, arg := range x.Args {
+								for obj, aid := range ids {
+									if escapesObj(c, arg, obj) {
+										kill(aid)
+									}
+								}
+							}
+							return false
+						}
+					}
+				}
+				for _, arg := range x.Args {
+					for obj, id := range ids {
+						if escapesObj(c, arg, obj) {
+							kill(id)
+						}
+					}
+				}
+				return false // args handled; don't rescan idents below
+			case *ast.ReturnStmt:
+				// `return v` transfers ownership; `return v.Compute()`
+				// does not — only the method's result leaves.
+				for _, res := range x.Results {
+					for obj, id := range ids {
+						if escapesObj(c, res, obj) {
+							kill(id)
+						}
+					}
+				}
+			case *ast.SendStmt:
+				for obj, id := range ids {
+					if escapesObj(c, x.Value, obj) {
+						kill(id)
+					}
+				}
+			case *ast.FuncLit:
+				// non-defer closure capturing the handle: transfer.
+				for obj, id := range ids {
+					if exprMentionsObj(c, x, obj) {
+						kill(id)
+					}
+				}
+				return false
+			case *ast.CompositeLit:
+				for obj, id := range ids {
+					if exprMentionsObj(c, x, obj) {
+						kill(id)
+					}
+				}
+				return false
+			}
+			return true
+		})
+		return out
+	}
+
+	in := forwardFlow(cfg, transfer)
+	open := in[cfg.exit]
+	for i, h := range handles {
+		if open.has(i) {
+			c.report(h.pos, rulePoolLeak,
+				"pool handle %s acquired here is not Released on every path (defer %s.Release() or release on all return/panic edges)",
+				h.obj.Name(), h.obj.Name())
+		}
+	}
+}
+
+// deferReleases reports whether a defer statement releases obj: either
+// `defer obj.Release()` directly or a deferred closure whose body calls
+// obj.Release().
+func deferReleases(c *pass, ds *ast.DeferStmt, obj types.Object) bool {
+	if isReleaseCall(c, ds.Call, obj) {
+		return true
+	}
+	lit, ok := ds.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isReleaseCall(c, call, obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isReleaseCall reports whether call is obj.Release() (or releases every
+// element of a slice range whose expression is obj — the pooled-worker
+// loop idiom is handled by the closure scan in deferReleases).
+func isReleaseCall(c *pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && c.objectOf(id) == obj
+}
+
+// isPoolAcquire reports whether the call resolves to a function named
+// Acquire declared in an internal/ package of this module (the pooled
+// engines: internal/astar, internal/decomp, and any future oracle pool).
+// Falls back to the syntactic astar.Acquire / decomp.Acquire shapes when
+// type information is unavailable.
+func (c *pass) isPoolAcquire(call *ast.CallExpr) bool {
+	if fn := c.calleeFunc(call); fn != nil {
+		if fn.Name() != "Acquire" || fn.Pkg() == nil {
+			return false
+		}
+		path := fn.Pkg().Path()
+		return strings.Contains(path, "internal/") || strings.HasPrefix(path, "internal/")
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok && fun.Sel.Name == "Acquire" {
+			return id.Name == "astar" || id.Name == "decomp"
+		}
+	case *ast.Ident:
+		return fun.Name == "Acquire" && strings.HasSuffix(c.p.relDir, "decomp")
+	}
+	return false
+}
+
+// escapesObj reports whether the expression tree mentions obj anywhere
+// except as the bare receiver of a method call: `v.Compute()` does not
+// escape v, while `v`, `f(v)`, `&v`, `v.field`, and `S{h: v}` all do.
+func escapesObj(c *pass, e ast.Node, obj types.Object) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	skip := map[ast.Node]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found || skip[n] {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && c.objectOf(id) == obj {
+					skip[sel] = true // receiver position: not an escape
+				}
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok && c.objectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// exprMentionsObj reports whether the expression tree mentions obj as a
+// bare identifier anywhere, receiver positions included (used for defer
+// and closure-capture scans, where any capture matters).
+func exprMentionsObj(c *pass, e ast.Node, obj types.Object) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.objectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

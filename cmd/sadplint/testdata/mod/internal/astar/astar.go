@@ -1,0 +1,18 @@
+// Package astar mirrors the pooled-engine API of the real internal/astar:
+// Acquire hands out a handle the poolleak rule tracks to its Release.
+package astar
+
+// Engine is a pooled scratch engine.
+type Engine struct{ g int }
+
+// Acquire returns a pooled engine bound to g.
+func Acquire(g int) *Engine { return &Engine{g: g} }
+
+// Release returns the engine to the pool.
+func (e *Engine) Release() { e.g = 0 }
+
+// Sink is an arbitrary consumer used by the ownership-transfer fixtures.
+func Sink(e *Engine) {}
+
+// Grind is an arbitrary method used by the receiver-use fixtures.
+func (e *Engine) Grind() int { return e.g }

@@ -1,0 +1,32 @@
+// Package clock seeds violations of the wallclock rule: internal/ code
+// must not read wall-clock time or import math/rand.
+package clock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp trips the rule: a wall-clock read in library code.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Elapsed trips the rule three times: Now, Sleep, and Since.
+func Elapsed() time.Duration {
+	t0 := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(t0)
+}
+
+// Roll leans on the banned math/rand import (flagged at the import).
+func Roll() int { return rand.Int() }
+
+// Timed is the documented escape hatch for reporting-only metrics.
+func Timed() time.Duration {
+	t0 := time.Now()      //lint:allow wallclock fixture: reporting-only timing metric
+	return time.Since(t0) //lint:allow wallclock fixture: reporting-only timing metric
+}
+
+// Budget stays silent: time.Duration arithmetic is not a clock read.
+func Budget(d time.Duration) bool { return d > time.Second }

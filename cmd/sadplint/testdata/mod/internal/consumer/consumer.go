@@ -1,9 +1,10 @@
-// Package consumer seeds violations of the resultwrite rule.
+// Package consumer seeds violations of the marker-driven immutable rule
+// against the decomp fixture's marked Result type.
 package consumer
 
 import "fixture/internal/decomp"
 
-// Mutate trips the resultwrite rule three ways: direct field write, write
+// Mutate trips the immutable rule three ways: direct field write, write
 // through an indexed element, and increment.
 func Mutate(r *decomp.Result) {
 	r.SideOverlayNM = 0
@@ -14,7 +15,7 @@ func Mutate(r *decomp.Result) {
 // MutateAllowed is the documented escape hatch for code that provably
 // owns its Result.
 func MutateAllowed(r *decomp.Result) {
-	r.SideOverlayNM = 0 //lint:allow resultwrite fixture: freshly cloned, never cached
+	r.SideOverlayNM = 0 //lint:allow immutable fixture: freshly cloned, never cached
 }
 
 // Read stays silent: only writes trip the rule.

@@ -4,6 +4,8 @@ package decomp
 
 // Result mirrors the real decomposition Result: data the memo cache
 // shares among callers, immutable outside this package.
+//
+//sadp:immutable — shared by the fixture memo cache.
 type Result struct {
 	SideOverlayNM int
 	Overlays      []Overlay

@@ -1,0 +1,13 @@
+// Package gorout seeds violations of the goroutine rule: only the
+// blessed pool packages may spawn goroutines in internal/.
+package gorout
+
+// Spawn trips the rule: a stray goroutine outside the pools.
+func Spawn(ch chan int) {
+	go func() { ch <- 1 }()
+}
+
+// SpawnAllowed is the documented escape hatch.
+func SpawnAllowed(ch chan int) {
+	go func() { ch <- 2 }() //lint:allow goroutine fixture: documented one-off
+}

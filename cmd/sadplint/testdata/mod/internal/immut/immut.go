@@ -1,0 +1,19 @@
+// Package immut declares a marked immutable type: the home package may
+// write its fields (it builds values before publication), everyone else
+// trips the immutable rule.
+package immut
+
+// Snapshot is a cached, shared value.
+//
+//sadp:immutable — shared via the fixture's content-addressed cache.
+type Snapshot struct {
+	Count int
+	Tags  []string
+}
+
+// New builds a Snapshot; home-package writes stay silent.
+func New() *Snapshot {
+	s := &Snapshot{}
+	s.Count = 1
+	return s
+}

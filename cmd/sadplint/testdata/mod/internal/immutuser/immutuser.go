@@ -1,0 +1,18 @@
+// Package immutuser seeds violations of the marker-driven immutable rule
+// against a marked type that is NOT the decomp fixture — proving the rule
+// follows the //sadp:immutable marker, not a hardcoded type.
+package immutuser
+
+import "fixture/internal/immut"
+
+// Mutate trips the immutable rule three ways.
+func Mutate(s *immut.Snapshot) {
+	s.Count = 7
+	s.Tags[0] = "x"
+	s.Count++
+}
+
+// MutateAllowed is the escape hatch for a provably-private clone.
+func MutateAllowed(s *immut.Snapshot) {
+	s.Count = 7 //lint:allow immutable fixture: freshly cloned, never cached
+}

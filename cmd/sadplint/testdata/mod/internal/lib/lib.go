@@ -73,3 +73,61 @@ func Log(msg string) {
 func LogAllowed(msg string) {
 	fmt.Fprintln(os.Stderr, msg) //lint:allow stderr fixture: documented fallback writer
 }
+
+// Pick trips the taint maprange rule the old syntactic pass missed: the
+// chosen key escapes the loop and reaches ordered output after it.
+func Pick(w io.Writer, m map[string]int) {
+	var picked string
+	for k := range m {
+		if len(k) > 3 {
+			picked = k
+		}
+	}
+	fmt.Fprintln(w, picked)
+}
+
+// Derived trips the taint rule through an intermediate variable.
+func Derived(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		k2 := k + "!"
+		out = append(out, k2)
+	}
+	return out
+}
+
+// Sum stays silent under the taint rule: numeric accumulation is
+// order-independent even though it ranges a map.
+func Sum(w io.Writer, m map[string]int) {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	fmt.Fprintf(w, "%d\n", total)
+}
+
+// Tally stays silent: per-entry output is a constant, so iteration order
+// cannot show in the bytes written.
+func Tally(w io.Writer, m map[string]int) {
+	for range m {
+		fmt.Fprint(w, ".")
+	}
+}
+
+// EmitSorted stays silent: the sort kills the taint before emission.
+func EmitSorted(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// Unknown has a directive naming a rule that does not exist: the
+// directive is a finding and suppresses nothing.
+func Unknown() bool {
+	return os.Getenv("FIXTURE_UNK") != "" //lint:allow nosuchrule rules must come from the catalogue
+}

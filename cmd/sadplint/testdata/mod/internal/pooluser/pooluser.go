@@ -1,0 +1,130 @@
+// Package pooluser seeds violations and clean idioms of the poolleak
+// rule: every Acquire into a local must reach a Release on all paths.
+package pooluser
+
+import "fixture/internal/astar"
+
+// LeakEarlyReturn trips poolleak: the early return path skips Release.
+func LeakEarlyReturn(g int, bad bool) int {
+	e := astar.Acquire(g)
+	if bad {
+		return 0
+	}
+	e.Release()
+	return 1
+}
+
+// LeakPanic trips poolleak: the explicit panic edge has no defer.
+func LeakPanic(g int, bad bool) {
+	e := astar.Acquire(g)
+	if bad {
+		panic("bad") //lint:allow panic fixture: exercising the poolleak panic edge
+	}
+	e.Release()
+}
+
+// LeakConditionalDefer trips poolleak: the defer is registered on one
+// branch only; the fallthrough path exits with the handle open.
+func LeakConditionalDefer(g int, bad bool) {
+	e := astar.Acquire(g)
+	if bad {
+		defer e.Release()
+	}
+}
+
+// OKDefer is the preferred idiom: the defer covers every edge, panics
+// included.
+func OKDefer(g int, bad bool) {
+	e := astar.Acquire(g)
+	defer e.Release()
+	if bad {
+		panic("bad") //lint:allow panic fixture: defers run on panic, so this path is covered
+	}
+}
+
+// OKAllPaths releases explicitly on every return edge.
+func OKAllPaths(g int, bad bool) int {
+	e := astar.Acquire(g)
+	if bad {
+		e.Release()
+		return 0
+	}
+	e.Release()
+	return 1
+}
+
+// OKLoop acquires and releases inside each loop iteration.
+func OKLoop(g, n int) {
+	for i := 0; i < n; i++ {
+		e := astar.Acquire(g)
+		e.Release()
+	}
+}
+
+// OKDeferClosure releases through a deferred closure.
+func OKDeferClosure(g int) {
+	e := astar.Acquire(g)
+	defer func() { e.Release() }()
+}
+
+// OKSliceDefer shows ownership transfer at birth: engines acquired
+// straight into slice elements are not tracked intraprocedurally; the
+// deferred closure releases them.
+func OKSliceDefer(g, n int) {
+	engs := make([]*astar.Engine, n)
+	for i := range engs {
+		engs[i] = astar.Acquire(g)
+	}
+	defer func() {
+		for _, e := range engs {
+			e.Release()
+		}
+	}()
+}
+
+// OKReturnTransfer hands the open handle to the caller: transfer ends
+// tracking (the caller owns the release).
+func OKReturnTransfer(g int) *astar.Engine {
+	e := astar.Acquire(g)
+	return e
+}
+
+// OKArgTransfer passes the handle to another owner.
+func OKArgTransfer(g int) {
+	e := astar.Acquire(g)
+	astar.Sink(e)
+}
+
+// OKAllowed is the documented escape hatch.
+func OKAllowed(g int, bad bool) {
+	e := astar.Acquire(g) //lint:allow poolleak fixture: deliberate leak proving the escape hatch
+	if bad {
+		return
+	}
+	e.Release()
+}
+
+// LeakReturnReceiver trips poolleak: the handle is only used as a method
+// receiver in the return — the result leaves, the handle does not, and
+// nothing releases it (the exact shape of a dropped defer in DecomposeCutR).
+func LeakReturnReceiver(g int) int {
+	e := astar.Acquire(g)
+	return e.Grind()
+}
+
+// OKReturnReceiver mirrors the real one-shot pooled-call idiom: a defer
+// covers every edge while the return uses the handle as a receiver.
+func OKReturnReceiver(g int) int {
+	e := astar.Acquire(g)
+	defer e.Release()
+	return e.Grind()
+}
+
+// OKIntermediateReceiver: a receiver call assigned to a local does not
+// end tracking; the later Release still counts.
+func OKIntermediateReceiver(g int) int {
+	e := astar.Acquire(g)
+	n := e.Grind()
+	e.Release()
+	return n
+}

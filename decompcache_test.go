@@ -129,12 +129,12 @@ func TestDecompCacheResultsImmutable(t *testing.T) {
 		t.Fatalf("routing or evaluation mutated a cached Result: %v", err)
 	}
 	// Prove the check has teeth: a write through a shared Result — exactly
-	// what the sadplint resultwrite rule forbids — must be detected.
-	layers[0].SideOverlayNM++ //lint:allow resultwrite deliberate forbidden write: proves DecompCacheCheck detects mutation
+	// what the sadplint immutable rule forbids — must be detected.
+	layers[0].SideOverlayNM++ //lint:allow immutable deliberate forbidden write: proves DecompCacheCheck detects mutation
 	if err := res.DecompCacheCheck(); err == nil {
 		t.Fatal("mutating a cached Result went undetected")
 	}
-	layers[0].SideOverlayNM-- //lint:allow resultwrite restores the deliberate write above
+	layers[0].SideOverlayNM-- //lint:allow immutable restores the deliberate write above
 	if err := res.DecompCacheCheck(); err != nil {
 		t.Fatalf("restored cache still flagged: %v", err)
 	}

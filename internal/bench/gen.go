@@ -10,7 +10,7 @@ package bench
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand" //lint:allow wallclock every generator is seeded from Spec.Seed; no global/unseeded source
 
 	"sadproute/internal/geom"
 	"sadproute/internal/grid"

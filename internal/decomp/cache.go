@@ -24,9 +24,9 @@ const DefaultCacheCap = 4096
 // contents.
 //
 // A hit returns the stored *Result unchanged. Cached Results are SHARED
-// and must be treated as immutable by every caller (the sadplint
-// resultwrite rule rejects writes through decomp.Result fields outside
-// this package); Paranoid mode retains deep copies so CheckIntegrity can
+// and must be treated as immutable by every caller (Result carries the
+// //sadp:immutable marker, so the sadplint immutable rule rejects writes
+// outside this package); Paranoid mode retains deep copies so CheckIntegrity can
 // prove nobody wrote to them.
 //
 // A Cache is single-goroutine state, like the Engine: the router's window

@@ -167,7 +167,7 @@ func TestCacheParanoidCatchesMutation(t *testing.T) {
 	if err := c.CheckIntegrity(); err != nil {
 		t.Fatalf("pristine cache flagged: %v", err)
 	}
-	res.SideOverlayNM++ // the forbidden write the resultwrite lint rule guards against
+	res.SideOverlayNM++ // the forbidden write the immutable lint rule guards against
 	if err := c.CheckIntegrity(); err == nil {
 		t.Fatal("mutation of a cached Result went undetected")
 	}
