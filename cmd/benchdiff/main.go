@@ -1,0 +1,171 @@
+// Command benchdiff compares two benchmark ledgers (BENCH_<rev>.json,
+// written by experiments -bench-json) and flags wall-clock regressions
+// with noise-aware thresholds:
+//
+//	benchdiff old.json new.json                # exit 1 on regression
+//	benchdiff -threshold 1.5 old.json new.json # tolerate 50% noise
+//	benchdiff -advisory old.json new.json      # report, always exit 0
+//
+// A cell regresses only when its wall time exceeds BOTH gates: the ratio
+// threshold (new > old × -threshold) and the absolute floor (new − old >
+// -min-delta). The two gates together keep microsecond cells from
+// tripping the ratio test and long cells from hiding behind it.
+//
+// Timing sections are measurement, not identity (see internal/bench
+// ledger docs): benchdiff warns when the two ledgers ran with different
+// -jobs or core counts, and reports deterministic-section drift
+// (wirelength, conflicts, counters) separately — det drift is a behavior
+// change to explain in review, not a perf regression.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"sadproute/internal/bench"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run diffs the two ledgers named by args and returns the process exit
+// code: 0 clean (or -advisory), 1 when a regression was flagged.
+func run(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		threshold = fs.Float64("threshold", 1.30, "ratio gate: flag when new wall > old wall x this")
+		minDelta  = fs.Duration("min-delta", 100*time.Millisecond, "absolute gate: and new - old exceeds this")
+		advisory  = fs.Bool("advisory", false, "report regressions but exit 0 (CI advisory mode)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stdout, "usage: benchdiff [flags] OLD.json NEW.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 0, fmt.Errorf("want exactly 2 ledger paths, got %d", fs.NArg())
+	}
+	oldL, err := bench.ReadLedger(fs.Arg(0))
+	if err != nil {
+		return 0, err
+	}
+	newL, err := bench.ReadLedger(fs.Arg(1))
+	if err != nil {
+		return 0, err
+	}
+
+	regressions := diff(stdout, oldL, newL, *threshold, *minDelta)
+	if regressions > 0 && !*advisory {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// diff renders the comparison and returns the regression count.
+func diff(w io.Writer, oldL, newL *bench.Ledger, threshold float64, minDelta time.Duration) int {
+	fmt.Fprintf(w, "benchdiff %s -> %s (threshold %.2fx, min-delta %s)\n",
+		oldL.Rev, newL.Rev, threshold, minDelta)
+	if oldL.Env.Jobs != newL.Env.Jobs || oldL.Env.NumCPU != newL.Env.NumCPU {
+		fmt.Fprintf(w, "WARNING: environments differ (jobs %d->%d, cpus %d->%d); timings are noisy across configs\n",
+			oldL.Env.Jobs, newL.Env.Jobs, oldL.Env.NumCPU, newL.Env.NumCPU)
+	}
+
+	oldByKey := make(map[string]*bench.LedgerCell, len(oldL.Cells))
+	for i := range oldL.Cells {
+		oldByKey[oldL.Cells[i].Key()] = &oldL.Cells[i]
+	}
+	seen := make(map[string]bool, len(newL.Cells))
+
+	var regressions, improved, drifted int
+	fmt.Fprintf(w, "\n%-40s %12s %12s %8s  %s\n", "cell", "old wall", "new wall", "ratio", "verdict")
+	for i := range newL.Cells {
+		nc := &newL.Cells[i]
+		key := nc.Key()
+		seen[key] = true
+		oc, ok := oldByKey[key]
+		if !ok {
+			fmt.Fprintf(w, "%-40s %12s %12s %8s  new cell (no baseline)\n", key, "-",
+				fmtNS(nc.Timing.WallNS), "-")
+			continue
+		}
+		ratio := 0.0
+		if oc.Timing.WallNS > 0 {
+			ratio = float64(nc.Timing.WallNS) / float64(oc.Timing.WallNS)
+		}
+		delta := time.Duration(nc.Timing.WallNS - oc.Timing.WallNS)
+		verdict := "ok"
+		switch {
+		case oc.Timing.WallNS > 0 && ratio > threshold && delta > minDelta:
+			verdict = fmt.Sprintf("REGRESSION (+%s)", delta.Round(time.Millisecond))
+			regressions++
+		case oc.Timing.WallNS > 0 && ratio < 1/threshold && -delta > minDelta:
+			verdict = fmt.Sprintf("improved (%s)", delta.Round(time.Millisecond))
+			improved++
+		}
+		fmt.Fprintf(w, "%-40s %12s %12s %7.2fx  %s\n",
+			key, fmtNS(oc.Timing.WallNS), fmtNS(nc.Timing.WallNS), ratio, verdict)
+		if note := detDrift(oc, nc); note != "" {
+			fmt.Fprintf(w, "%-40s   det drift: %s\n", "", note)
+			drifted++
+		}
+	}
+	for i := range oldL.Cells {
+		if key := oldL.Cells[i].Key(); !seen[key] {
+			fmt.Fprintf(w, "%-40s %12s %12s %8s  cell missing from new ledger\n",
+				key, fmtNS(oldL.Cells[i].Timing.WallNS), "-", "-")
+		}
+	}
+
+	fmt.Fprintf(w, "\n%d cells: %d regression(s), %d improved, %d with det drift\n",
+		len(newL.Cells), regressions, improved, drifted)
+	return regressions
+}
+
+// detDrift summarizes deterministic-section changes between matched
+// cells. Any drift means the revisions do different work on the same
+// spec — legitimate when an algorithm changed, but it must be visible.
+func detDrift(oc, nc *bench.LedgerCell) string {
+	ob, _ := json.Marshal(oc.Det)
+	nb, _ := json.Marshal(nc.Det)
+	if string(ob) == string(nb) {
+		return ""
+	}
+	var notes []byte
+	add := func(name string, o, n int64) {
+		if o != n {
+			notes = fmt.Appendf(notes, " %s %d->%d", name, o, n)
+		}
+	}
+	add("wirelength", int64(oc.Det.Wirelength), int64(nc.Det.Wirelength))
+	add("vias", int64(oc.Det.Vias), int64(nc.Det.Vias))
+	add("conflicts", int64(oc.Det.Conflicts), int64(nc.Det.Conflicts))
+	add("overlay_nm", int64(oc.Det.OverlayNM), int64(nc.Det.OverlayNM))
+	add("ripups", int64(oc.Det.Ripups), int64(nc.Det.Ripups))
+	add("violations", int64(oc.Det.Violations), int64(nc.Det.Violations))
+	if len(notes) == 0 {
+		return "counters/hists/attribution changed (result metrics identical)"
+	}
+	return string(notes[1:])
+}
+
+func fmtNS(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

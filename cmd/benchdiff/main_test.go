@@ -1,0 +1,164 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sadproute/internal/bench"
+)
+
+// testLedger builds a small synthetic ledger; wallNS scales every cell's
+// wall time so tests can inject slowdowns.
+func testLedger(rev string, wallScale int64) *bench.Ledger {
+	l := bench.NewLedger(rev, 1)
+	l.Env.Jobs, l.Env.NumCPU = 1, 8 // pin so the env warning stays off
+	for _, c := range []struct {
+		bench  string
+		wallNS int64
+		wl     int
+	}{
+		{"Test1-t", 400e6, 1200},
+		{"Test2-t", 900e6, 2500},
+	} {
+		l.Cells = append(l.Cells, bench.LedgerCell{
+			Exp: "table3", Bench: c.bench, Algo: "ours",
+			Det: bench.LedgerDet{
+				Nets: 50, Wirelength: c.wl, Vias: 80, Ripups: 3,
+				Counters: map[string]int64{"router.attempts": 55},
+			},
+			Timing: bench.LedgerTiming{WallNS: c.wallNS * wallScale, CPUNS: c.wallNS * wallScale},
+		})
+	}
+	return l
+}
+
+func writeLedger(t *testing.T, l *bench.Ledger, name string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := l.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestIdenticalLedgersPass is half of the acceptance criterion: two
+// identical ledgers diff clean with exit code 0.
+func TestIdenticalLedgersPass(t *testing.T) {
+	a := writeLedger(t, testLedger("seed", 1), "BENCH_a.json")
+	b := writeLedger(t, testLedger("seed", 1), "BENCH_b.json")
+	var out strings.Builder
+	code, err := run([]string{a, b}, &out)
+	if err != nil {
+		t.Fatalf("diff failed: %v\n%s", err, out.String())
+	}
+	if code != 0 {
+		t.Fatalf("identical ledgers exited %d:\n%s", code, out.String())
+	}
+	if strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("identical ledgers flagged a regression:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "0 regression(s)") {
+		t.Fatalf("summary missing:\n%s", out.String())
+	}
+}
+
+// TestInjectedSlowdownFlagged is the other half: a 2x slowdown trips the
+// default 1.30x/100ms gates and exits 1.
+func TestInjectedSlowdownFlagged(t *testing.T) {
+	old := writeLedger(t, testLedger("seed", 1), "BENCH_old.json")
+	slow := writeLedger(t, testLedger("head", 2), "BENCH_new.json")
+	var out strings.Builder
+	code, err := run([]string{old, slow}, &out)
+	if err != nil {
+		t.Fatalf("diff failed: %v\n%s", err, out.String())
+	}
+	if code != 1 {
+		t.Fatalf("2x slowdown exited %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "2 regression(s)") {
+		t.Fatalf("2x slowdown not flagged on both cells:\n%s", out.String())
+	}
+
+	// -advisory reports the same regressions but exits 0 for CI.
+	out.Reset()
+	code, err = run([]string{"-advisory", old, slow}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("advisory mode: code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("advisory mode hid the regression:\n%s", out.String())
+	}
+}
+
+// TestNoiseGates proves both gates must trip: a big ratio on a tiny cell
+// (under -min-delta) and a small ratio on a big cell both pass.
+func TestNoiseGates(t *testing.T) {
+	old := testLedger("seed", 1)
+	niu := testLedger("head", 1)
+	niu.Cells[0].Timing.WallNS = old.Cells[0].Timing.WallNS / 100 * 100 // unchanged
+	// Tiny cell: 3x ratio but only +20ms absolute — under the 100ms floor.
+	old.Cells[0].Timing.WallNS = 10e6
+	niu.Cells[0].Timing.WallNS = 30e6
+	// Big cell: +200ms absolute but only 1.22x — under the 1.30x ratio.
+	old.Cells[1].Timing.WallNS = 900e6
+	niu.Cells[1].Timing.WallNS = 1100e6
+	a := writeLedger(t, old, "BENCH_old.json")
+	b := writeLedger(t, niu, "BENCH_new.json")
+	var out strings.Builder
+	code, err := run([]string{a, b}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("noise within gates flagged: code=%d err=%v\n%s", code, err, out.String())
+	}
+}
+
+// TestDetDriftReported proves deterministic-section changes surface as
+// notes without failing the diff.
+func TestDetDriftReported(t *testing.T) {
+	old := testLedger("seed", 1)
+	niu := testLedger("head", 1)
+	niu.Cells[1].Det.Wirelength += 40
+	a := writeLedger(t, old, "BENCH_old.json")
+	b := writeLedger(t, niu, "BENCH_new.json")
+	var out strings.Builder
+	code, err := run([]string{a, b}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("det drift must not fail the diff: code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), "det drift") || !strings.Contains(out.String(), "wirelength 2500->2540") {
+		t.Fatalf("det drift not reported:\n%s", out.String())
+	}
+}
+
+// TestCellSetChanges reports added and removed cells.
+func TestCellSetChanges(t *testing.T) {
+	old := testLedger("seed", 1)
+	niu := testLedger("head", 1)
+	niu.Cells[0].Bench = "Test9-t" // renames: one missing, one new
+	a := writeLedger(t, old, "BENCH_old.json")
+	b := writeLedger(t, niu, "BENCH_new.json")
+	var out strings.Builder
+	if _, err := run([]string{a, b}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "new cell") || !strings.Contains(out.String(), "missing from new ledger") {
+		t.Fatalf("cell set changes not reported:\n%s", out.String())
+	}
+}
+
+// TestBadArgs pins the CLI error contract.
+func TestBadArgs(t *testing.T) {
+	var out strings.Builder
+	if _, err := run([]string{"only-one.json"}, &out); err == nil {
+		t.Fatal("one path should error")
+	}
+	if _, err := run([]string{"a.json", "b.json"}, &out); err == nil {
+		t.Fatal("unreadable ledgers should error")
+	}
+	if code, err := run([]string{"-h"}, &out); err != nil || code != 0 {
+		t.Fatalf("-h: code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), "usage: benchdiff") {
+		t.Fatalf("-h did not print usage:\n%s", out.String())
+	}
+}

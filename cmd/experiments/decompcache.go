@@ -20,12 +20,13 @@ import (
 // hit rate, and — the property the tentpole guarantees — whether the
 // result is byte-identical to the uncached run.
 //
-// The fingerprint zeroes the whole decomp.* counter family: a cache hit
-// returns the stored Result without re-running the oracle, so the work
-// counters (decompositions, blobs, bridges, assists, overlay fragments)
-// legitimately differ between the two runs. Everything else — route
-// shape, wirelength, decomposition totals, every other counter — must
-// match exactly.
+// The fingerprint zeroes the whole decomp.* metric family (counters and
+// histograms): a cache hit returns the stored Result without re-running
+// the oracle, so the work metrics (decompositions, blobs, bridges,
+// assists, overlay fragments, the blob-count histogram) legitimately
+// differ between the two runs. Everything else — route shape,
+// wirelength, decomposition totals, every other counter — must match
+// exactly.
 func decompcache(ds rules.Set, scale string) (string, error) {
 	specs := specsFor(scale, true)
 	sp := specs[len(specs)-1]
@@ -49,11 +50,7 @@ func decompcache(ds rules.Set, scale string) (string, error) {
 		_, tot := res.DecomposeLayersR(rec)
 		stopEval()
 		snap := rec.Snapshot()
-		for c := range snap.Counters {
-			if strings.HasPrefix(obs.CounterID(c).String(), "decomp.") {
-				snap.Counters[c] = 0
-			}
-		}
+		snap.ZeroFamily("decomp.")
 		var fp bytes.Buffer
 		fmt.Fprintf(&fp, "routed=%d failed=%d wl=%d vias=%d paths=%v\ntotals=%+v\n",
 			res.Routed, res.Failed, res.WirelengthCells, res.Vias, res.Paths, tot)

@@ -56,7 +56,7 @@ func goldenTable2TSV(ds rules.Set) string {
 // goldenTable3TSV renders Table III at tiny scale with the three
 // deterministic algorithms as TSV, wall-clock columns omitted.
 func goldenTable3TSV(ds rules.Set, h harness) (string, error) {
-	rows, err := h.runCells(ds, specsFor("tiny", true),
+	rows, err := h.runCells("golden", ds, specsFor("tiny", true),
 		[]bench.Algo{bench.AlgoOurs, bench.AlgoTrimGreedy, bench.AlgoCutNoMerge})
 	if err != nil {
 		return "", err

@@ -57,6 +57,8 @@ func run(args []string, stdout io.Writer) error {
 		netW   = fs.Int("net-workers", 0, "concurrent nets within each routing run (internal/sched); <2 = serial, result byte-identical either way")
 		dcache = fs.Bool("decomp-cache", true, "memoize the decomposition oracle by layout content (internal/decomp); result byte-identical either way")
 		trDir  = fs.String("tracedir", "", "write one JSONL trace per ours-cell into this directory")
+		bjson  = fs.String("bench-json", "", "write a benchmark ledger: a *.json path is used verbatim, anything else is a directory for BENCH_<rev>.json")
+		rev    = fs.String("rev", "dev", "revision label stamped into the benchmark ledger")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -98,6 +100,17 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	h := harness{jobs: *jobs, netWorkers: *netW, noCache: !*dcache, budget: *budget, traceDir: *trDir}
+	var ledgerPath string
+	if *bjson != "" {
+		h.ledger = bench.NewLedger(*rev, *jobs)
+		ledgerPath = *bjson
+		if !strings.HasSuffix(ledgerPath, ".json") {
+			if err := os.MkdirAll(ledgerPath, 0o755); err != nil {
+				return err
+			}
+			ledgerPath = filepath.Join(ledgerPath, "BENCH_"+*rev+".json")
+		}
+	}
 	experiments := []struct {
 		name string
 		fn   func() (string, error)
@@ -119,6 +132,12 @@ func run(args []string, stdout io.Writer) error {
 		if err := emit(e.name, e.fn); err != nil {
 			return err
 		}
+	}
+	if h.ledger != nil {
+		if err := h.ledger.WriteFile(ledgerPath); err != nil {
+			return fmt.Errorf("bench ledger: %w", err)
+		}
+		fmt.Fprintf(stdout, "== bench ledger (%d cells) -> %s\n", len(h.ledger.Cells), ledgerPath)
 	}
 	return nil
 }

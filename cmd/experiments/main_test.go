@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"sadproute/internal/bench"
 )
 
 func TestHelp(t *testing.T) {
@@ -41,6 +43,50 @@ func TestTinyInstance(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "color rules") {
 		t.Fatalf("table2.txt content unexpected:\n%s", data)
+	}
+}
+
+// TestBenchLedger runs a routing experiment at the CI smoke scale with
+// -bench-json pointing at a directory and checks that a parseable
+// BENCH_<rev>.json ledger lands there with one cell per (spec × algo).
+func TestBenchLedger(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	args := []string{"-which", "table3", "-scale", "tiny", "-out", dir,
+		"-jobs", "2", "-bench-json", dir, "-rev", "smoke"}
+	if err := run(args, &b); err != nil {
+		t.Fatalf("table3 with -bench-json failed: %v\n%s", err, b.String())
+	}
+	path := filepath.Join(dir, "BENCH_smoke.json")
+	l, err := bench.ReadLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Rev != "smoke" || l.Env.Jobs != 2 || l.Env.RunWallNS <= 0 {
+		t.Fatalf("ledger header not stamped: rev=%q env=%+v", l.Rev, l.Env)
+	}
+	if want := 2 * 3; len(l.Cells) != want { // 2 tiny specs × 3 algorithms
+		t.Fatalf("ledger has %d cells, want %d", len(l.Cells), want)
+	}
+	for i := range l.Cells {
+		if l.Cells[i].Exp != "table3" {
+			t.Fatalf("cell %d tagged %q, want table3", i, l.Cells[i].Exp)
+		}
+	}
+	if !strings.Contains(b.String(), path) {
+		t.Fatalf("console output does not mention the ledger path:\n%s", b.String())
+	}
+
+	// A path ending in .json is used verbatim.
+	exact := filepath.Join(dir, "custom.json")
+	b.Reset()
+	if err := run([]string{"-which", "golden", "-out", dir, "-bench-json", exact}, &b); err != nil {
+		t.Fatalf("golden with verbatim -bench-json failed: %v\n%s", err, b.String())
+	}
+	if l, err = bench.ReadLedger(exact); err != nil {
+		t.Fatal(err)
+	} else if len(l.Cells) == 0 || l.Cells[0].Exp != "golden" {
+		t.Fatalf("verbatim-path ledger unexpected: %+v", l.Cells)
 	}
 }
 

@@ -48,12 +48,9 @@ func netpar(ds rules.Set, scale string) (string, error) {
 		res := router.Route(nl, ds, opt)
 		snap := rec.Snapshot()
 		// The fingerprint covers everything deterministic about the run:
-		// route shape, decomposition totals, and every counter except the
+		// route shape, decomposition totals, and every metric except the
 		// sched.* family (absent by definition in the serial run).
-		snap.Counters[obs.CtrSchedWaves] = 0
-		snap.Counters[obs.CtrSchedSpecSearches] = 0
-		snap.Counters[obs.CtrSchedSpecHits] = 0
-		snap.Counters[obs.CtrSchedSpecRetries] = 0
+		snap.ZeroFamily("sched.")
 		var fp bytes.Buffer
 		fmt.Fprintf(&fp, "routed=%d failed=%d wl=%d vias=%d paths=%v\n",
 			res.Routed, res.Failed, res.WirelengthCells, res.Vias, res.Paths)

@@ -25,11 +25,14 @@ type harness struct {
 	noCache    bool // route with the decomposition memo cache disabled
 	budget     time.Duration
 	traceDir   string
+	ledger     *bench.Ledger // nil unless -bench-json; rows append per experiment
 }
 
 // runCells routes every (spec × algo) cell across the worker pool and
-// returns metrics in canonical (spec-major, algo-minor) order.
-func (h harness) runCells(ds rules.Set, specs []bench.Spec, algos []bench.Algo) ([]bench.Metrics, error) {
+// returns metrics in canonical (spec-major, algo-minor) order, appending
+// them to the benchmark ledger (if enabled) under the experiment name.
+// Experiments run sequentially, so the ledger needs no locking.
+func (h harness) runCells(exp string, ds rules.Set, specs []bench.Spec, algos []bench.Algo) ([]bench.Metrics, error) {
 	cells := make([]bench.Cell, 0, len(specs)*len(algos))
 	for _, sp := range specs {
 		for _, a := range algos {
@@ -51,7 +54,14 @@ func (h harness) runCells(ds rules.Set, specs []bench.Spec, algos []bench.Algo) 
 			return os.Create(filepath.Join(h.traceDir, c.String()+".jsonl"))
 		}
 	}
-	return bh.Run(cells)
+	rows, err := bh.Run(cells)
+	if err != nil {
+		return nil, err
+	}
+	if h.ledger != nil {
+		h.ledger.Add(exp, rows)
+	}
+	return rows, nil
 }
 
 // table2 regenerates the paper's Table II: for each potential overlay
@@ -173,7 +183,7 @@ func cellNM(r geom.Rect, ds rules.Set) geom.Rect {
 // table3 reproduces Table III: fixed-pin benchmarks, ours vs the trim
 // baseline [11] and the no-merge cut baseline [16].
 func table3(ds rules.Set, scale string, h harness) (string, error) {
-	rows, err := h.runCells(ds, specsFor(scale, true),
+	rows, err := h.runCells("table3", ds, specsFor(scale, true),
 		[]bench.Algo{bench.AlgoOurs, bench.AlgoTrimGreedy, bench.AlgoCutNoMerge})
 	if err != nil {
 		return "", err
@@ -184,7 +194,7 @@ func table3(ds rules.Set, scale string, h harness) (string, error) {
 // table4 reproduces Table IV: multiple pin candidate locations, ours vs
 // the exhaustive multi-candidate baseline [10].
 func table4(ds rules.Set, scale string, h harness) (string, error) {
-	rows, err := h.runCells(ds, specsFor(scale, false),
+	rows, err := h.runCells("table4", ds, specsFor(scale, false),
 		[]bench.Algo{bench.AlgoOurs, bench.AlgoTrimExhaustive})
 	if err != nil {
 		return "", err
@@ -197,7 +207,7 @@ func table4(ds rules.Set, scale string, h harness) (string, error) {
 // each CPU measurement is the cell's own routing time, which shares cores
 // with concurrent cells — pass -jobs 1 for exclusive-core timing.
 func fig20(ds rules.Set, scale string, h harness) (string, error) {
-	rows, err := h.runCells(ds, specsFor(scale, true), []bench.Algo{bench.AlgoOurs})
+	rows, err := h.runCells("fig20", ds, specsFor(scale, true), []bench.Algo{bench.AlgoOurs})
 	if err != nil {
 		return "", err
 	}
@@ -219,7 +229,7 @@ func fig20(ds rules.Set, scale string, h harness) (string, error) {
 // and search-effort counters for our router across the benchmark suite —
 // the profile behind the paper's runtime discussion (Section IV).
 func stages(ds rules.Set, scale string, h harness) (string, error) {
-	rows, err := h.runCells(ds, specsFor(scale, true), []bench.Algo{bench.AlgoOurs})
+	rows, err := h.runCells("stages", ds, specsFor(scale, true), []bench.Algo{bench.AlgoOurs})
 	if err != nil {
 		return "", err
 	}

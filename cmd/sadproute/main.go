@@ -32,7 +32,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("sadproute", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
@@ -96,7 +96,14 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		defer traceOut.Close()
+		// Surface the close error: the OS may only report a failed flush
+		// (full disk, dead NFS handle) at Close, and swallowing it would
+		// publish a silently truncated trace as if it were complete.
+		defer func() {
+			if cerr := traceOut.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("closing trace %s: %w", *traceFile, cerr)
+			}
+		}()
 		rec.SetTrace(traceOut)
 	}
 

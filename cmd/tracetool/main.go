@@ -1,0 +1,534 @@
+// Command tracetool analyzes the deterministic JSONL traces written by
+// the router (sadproute -trace, experiments -tracedir) offline:
+//
+//	tracetool trace.jsonl                      # human-readable report
+//	tracetool -json trace.jsonl                # stable-schema JSON
+//	tracetool -top 20 trace.jsonl              # longer expensive-net list
+//	tracetool -ledger BENCH_x.json trace.jsonl # add stage/cache rollups
+//
+// The report covers the questions a routing regression triage starts
+// with: how the attempt/fail mix looks, which layers burned window checks
+// and recovered overlay, which nets were most expensive, and the rip-up
+// causality — which net's commit triggered which re-searches, and how
+// deep the triggered chains ran.
+//
+// Traces carry no wall-clock by design (they are byte-identical across
+// runs), so stage timings and cache effectiveness come from a benchmark
+// ledger (-ledger, see internal/bench): that section is measurement, not
+// identity, and is excluded when comparing -json output byte for byte.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"sadproute/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracetool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracetool", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		asJSON = fs.Bool("json", false, "emit the report as stable-schema JSON")
+		topK   = fs.Int("top", 10, "length of the most-expensive-nets list")
+		ledger = fs.String("ledger", "", "benchmark ledger (BENCH_*.json) for the stage/cache rollup")
+		cell   = fs.String("cell", "", "ledger cell key substring (default: first ours cell)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stdout, "usage: tracetool [flags] TRACE.jsonl")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("want exactly 1 trace file, got %d", fs.NArg())
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rep, err := Analyze(f, *topK)
+	if err != nil {
+		return fmt.Errorf("%s: %w", fs.Arg(0), err)
+	}
+	if *ledger != "" {
+		l, err := bench.ReadLedger(*ledger)
+		if err != nil {
+			return err
+		}
+		lr, err := ledgerRollup(l, *cell)
+		if err != nil {
+			return err
+		}
+		rep.Ledger = lr
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	return rep.Render(stdout)
+}
+
+// ReportSchema versions the -json output; consumers pin on it.
+const ReportSchema = 1
+
+// Report is the stable -json schema. Every field except Ledger is a pure
+// function of the trace bytes, so two identical traces produce identical
+// reports.
+type Report struct {
+	Schema int              `json:"schema"`
+	Events int64            `json:"events"`
+	ByType map[string]int64 `json:"by_type"`
+
+	Routing RoutingReport `json:"routing"`
+	Layers  []LayerReport `json:"layers"`
+	TopNets []NetReport   `json:"top_nets"`
+	Ripups  RipupReport   `json:"ripups"`
+	Repair  RepairReport  `json:"repair"`
+
+	// Ledger is the wall-clock/cache rollup from -ledger — measurement,
+	// not identity; omit it when diffing reports byte for byte.
+	Ledger *LedgerReport `json:"ledger,omitempty"`
+}
+
+// RoutingReport aggregates the attempt/ok/fail mix.
+type RoutingReport struct {
+	Attempts     int64            `json:"attempts"`
+	Routed       int64            `json:"routed"`
+	Failed       int64            `json:"failed"`
+	FailByReason map[string]int64 `json:"fail_by_reason,omitempty"`
+	MaxAttempt   int64            `json:"max_attempt"` // 0-based, as traced
+}
+
+// LayerReport rolls window-check and color-flip activity up per layer.
+type LayerReport struct {
+	Layer         int   `json:"layer"`
+	WindowChecks  int64 `json:"window_checks"`
+	Clean         int64 `json:"clean"`
+	Resolved      int64 `json:"resolved"`
+	Ripup         int64 `json:"ripup"`
+	ColorFlips    int64 `json:"color_flips"`
+	FlipsFeasible int64 `json:"flips_feasible"`
+	// Overlay recovered by the flip DP on this layer: sum over
+	// overlay_delta events of before_nm - after_nm.
+	RecoveredNM int64 `json:"recovered_nm"`
+}
+
+// NetReport is one row of the most-expensive-nets list, ranked by
+// attempts descending, rip-ups descending, net id ascending.
+type NetReport struct {
+	Net      int   `json:"net"`
+	Attempts int64 `json:"attempts"`
+	Ripups   int64 `json:"ripups"`
+	Fails    int64 `json:"fails"`
+	WL       int64 `json:"wl"`   // from the final route_ok, 0 if never routed
+	Vias     int64 `json:"vias"` // likewise
+}
+
+// RipupReport is the causality analysis: every rip-up extends a chain —
+// a blocker rip continues the chain of the net whose commit displaced it
+// (the "for" net), any other cause deepens the net's own chain — and a
+// successful route resets the net's chain. Deep chains mean one commit
+// cascaded through many re-searches.
+type RipupReport struct {
+	Total       int64            `json:"total"`
+	ByCause     map[string]int64 `json:"by_cause,omitempty"`
+	ChainDepths []ChainDepth     `json:"chain_depths,omitempty"`
+	MaxChain    int64            `json:"max_chain"`
+	// TopTriggers ranks nets by how many blocker rip-ups their commits
+	// caused (rip-ups caused descending, net ascending).
+	TopTriggers []Trigger `json:"top_triggers,omitempty"`
+}
+
+// ChainDepth is one row of the chain-depth distribution.
+type ChainDepth struct {
+	Depth int64 `json:"depth"`
+	Count int64 `json:"count"`
+}
+
+// Trigger is one row of the rip-up causality ranking.
+type Trigger struct {
+	Net    int   `json:"net"`
+	Caused int64 `json:"caused"`
+}
+
+// RepairReport summarizes the final-repair stage.
+type RepairReport struct {
+	Passes    int64   `json:"passes"`
+	Offenders []int64 `json:"offenders,omitempty"` // per pass
+	Dropped   int64   `json:"dropped"`             // route_fail reason=repair_drop
+}
+
+// LedgerReport is the optional nondeterministic rollup (see Report.Ledger).
+type LedgerReport struct {
+	Cell      string           `json:"cell"`
+	WallNS    int64            `json:"wall_ns"`
+	StagesNS  map[string]int64 `json:"stages_ns,omitempty"`
+	CacheHits int64            `json:"cache_hits"`
+	CacheMiss int64            `json:"cache_misses"`
+}
+
+// event is the union of every trace event's fields (docs/trace-schema.md).
+// Pointers distinguish "absent" from zero where zero is meaningful.
+type event struct {
+	Seq     int64  `json:"seq"`
+	Ev      string `json:"ev"`
+	Net     *int   `json:"net"`
+	Attempt int64  `json:"attempt"`
+	WL      int64  `json:"wl"`
+	Vias    int64  `json:"vias"`
+	Reason  string `json:"reason"`
+	Cause   string `json:"cause"`
+	For     *int   `json:"for"`
+	Layer   *int   `json:"layer"`
+	Outcome string `json:"outcome"`
+	Feas    int64  `json:"feasible"`
+	Before  int64  `json:"before_nm"`
+	After   int64  `json:"after_nm"`
+	Pass    int64  `json:"pass"`
+	Offend  int64  `json:"offenders"`
+}
+
+// netAgg accumulates one net's trace activity.
+type netAgg struct {
+	net      int
+	attempts int64
+	ripups   int64
+	fails    int64
+	wl, vias int64
+	depth    int64 // current rip-up chain depth (causality state)
+}
+
+// Analyze reads one JSONL trace and builds the report. It validates the
+// seq chain: a gap or reordering means the trace was truncated or
+// interleaved, and an analysis of it would silently lie.
+func Analyze(r io.Reader, topK int) (*Report, error) {
+	rep := &Report{Schema: ReportSchema, ByType: map[string]int64{}}
+	nets := map[int]*netAgg{}
+	layers := map[int]*LayerReport{}
+	ripCause := map[string]int64{}
+	depthDist := map[int64]int64{}
+	triggers := map[int]int64{}
+
+	netOf := func(e *event) (*netAgg, error) {
+		if e.Net == nil {
+			return nil, fmt.Errorf("seq %d: %s event without net", e.Seq, e.Ev)
+		}
+		a := nets[*e.Net]
+		if a == nil {
+			a = &netAgg{net: *e.Net}
+			nets[*e.Net] = a
+		}
+		return a, nil
+	}
+	layerOf := func(e *event) (*LayerReport, error) {
+		if e.Layer == nil {
+			return nil, fmt.Errorf("seq %d: %s event without layer", e.Seq, e.Ev)
+		}
+		l := layers[*e.Layer]
+		if l == nil {
+			l = &LayerReport{Layer: *e.Layer}
+			layers[*e.Layer] = l
+		}
+		return l, nil
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var lastSeq int64
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("line %d: %w", rep.Events+1, err)
+		}
+		if e.Seq != lastSeq+1 {
+			return nil, fmt.Errorf("seq %d follows %d: trace truncated or interleaved", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		rep.Events++
+		rep.ByType[e.Ev]++
+
+		switch e.Ev {
+		case "route_attempt":
+			a, err := netOf(&e)
+			if err != nil {
+				return nil, err
+			}
+			a.attempts++
+			rep.Routing.Attempts++
+			if e.Attempt > rep.Routing.MaxAttempt {
+				rep.Routing.MaxAttempt = e.Attempt
+			}
+		case "route_ok":
+			a, err := netOf(&e)
+			if err != nil {
+				return nil, err
+			}
+			rep.Routing.Routed++
+			a.wl, a.vias = e.WL, e.Vias
+			a.depth = 0 // a committed route ends its rip-up chain
+		case "route_fail":
+			a, err := netOf(&e)
+			if err != nil {
+				return nil, err
+			}
+			rep.Routing.Failed++
+			a.fails++
+			if rep.Routing.FailByReason == nil {
+				rep.Routing.FailByReason = map[string]int64{}
+			}
+			rep.Routing.FailByReason[e.Reason]++
+			if e.Reason == "repair_drop" {
+				rep.Repair.Dropped++
+			}
+		case "ripup":
+			a, err := netOf(&e)
+			if err != nil {
+				return nil, err
+			}
+			a.ripups++
+			rep.Ripups.Total++
+			ripCause[e.Cause]++
+			d := a.depth + 1
+			if e.Cause == "blocker" && e.For != nil {
+				// The chain continues from the net whose commit displaced
+				// this one, not from this net's own history.
+				f, err := netOf(&event{Seq: e.Seq, Ev: e.Ev, Net: e.For})
+				if err != nil {
+					return nil, err
+				}
+				d = f.depth + 1
+				triggers[*e.For]++
+			}
+			a.depth = d
+			depthDist[d]++
+			if d > rep.Ripups.MaxChain {
+				rep.Ripups.MaxChain = d
+			}
+		case "window_check":
+			l, err := layerOf(&e)
+			if err != nil {
+				return nil, err
+			}
+			l.WindowChecks++
+			switch e.Outcome {
+			case "clean":
+				l.Clean++
+			case "resolved":
+				l.Resolved++
+			case "ripup":
+				l.Ripup++
+			}
+		case "color_flip":
+			l, err := layerOf(&e)
+			if err != nil {
+				return nil, err
+			}
+			l.ColorFlips++
+			if e.Feas != 0 {
+				l.FlipsFeasible++
+			}
+		case "overlay_delta":
+			l, err := layerOf(&e)
+			if err != nil {
+				return nil, err
+			}
+			l.RecoveredNM += e.Before - e.After
+		case "repair_pass":
+			rep.Repair.Passes++
+			rep.Repair.Offenders = append(rep.Repair.Offenders, e.Offend)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if rep.Events == 0 {
+		return nil, errors.New("empty trace")
+	}
+
+	for i := 0; ; i++ {
+		l, ok := layers[i]
+		if !ok {
+			break
+		}
+		rep.Layers = append(rep.Layers, *l)
+	}
+	if len(rep.Layers) != len(layers) {
+		return nil, fmt.Errorf("trace names %d layers but they are not contiguous from 0", len(layers))
+	}
+
+	rep.Ripups.ByCause = ripCause
+	if len(ripCause) == 0 {
+		rep.Ripups.ByCause = nil
+	}
+	for d, n := range depthDist {
+		rep.Ripups.ChainDepths = append(rep.Ripups.ChainDepths, ChainDepth{Depth: d, Count: n})
+	}
+	sort.Slice(rep.Ripups.ChainDepths, func(a, b int) bool {
+		return rep.Ripups.ChainDepths[a].Depth < rep.Ripups.ChainDepths[b].Depth
+	})
+	for n, c := range triggers {
+		rep.Ripups.TopTriggers = append(rep.Ripups.TopTriggers, Trigger{Net: n, Caused: c})
+	}
+	sort.Slice(rep.Ripups.TopTriggers, func(a, b int) bool {
+		ta, tb := rep.Ripups.TopTriggers[a], rep.Ripups.TopTriggers[b]
+		if ta.Caused != tb.Caused {
+			return ta.Caused > tb.Caused
+		}
+		return ta.Net < tb.Net
+	})
+	if len(rep.Ripups.TopTriggers) > topK {
+		rep.Ripups.TopTriggers = rep.Ripups.TopTriggers[:topK]
+	}
+
+	all := make([]*netAgg, 0, len(nets))
+	for _, a := range nets {
+		all = append(all, a)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.attempts != b.attempts {
+			return a.attempts > b.attempts
+		}
+		if a.ripups != b.ripups {
+			return a.ripups > b.ripups
+		}
+		return a.net < b.net
+	})
+	if len(all) > topK {
+		all = all[:topK]
+	}
+	for _, a := range all {
+		rep.TopNets = append(rep.TopNets, NetReport{
+			Net: a.net, Attempts: a.attempts, Ripups: a.ripups,
+			Fails: a.fails, WL: a.wl, Vias: a.vias,
+		})
+	}
+	return rep, nil
+}
+
+// ledgerRollup picks one ledger cell (first ours cell, or the first whose
+// key contains the substring) and extracts the timing/cache summary.
+func ledgerRollup(l *bench.Ledger, sub string) (*LedgerReport, error) {
+	for i := range l.Cells {
+		c := &l.Cells[i]
+		if sub != "" && !strings.Contains(c.Key(), sub) {
+			continue
+		}
+		if sub == "" && c.Algo != string(bench.AlgoOurs) {
+			continue
+		}
+		return &LedgerReport{
+			Cell:      c.Key(),
+			WallNS:    c.Timing.WallNS,
+			StagesNS:  c.Timing.StagesNS,
+			CacheHits: c.Det.Counters["decomp.cache_hits"],
+			CacheMiss: c.Det.Counters["decomp.cache_misses"],
+		}, nil
+	}
+	return nil, fmt.Errorf("no ledger cell matches %q", sub)
+}
+
+// Render writes the human-readable report.
+func (rep *Report) Render(w io.Writer) error {
+	fmt.Fprintf(w, "trace: %d events\n", rep.Events)
+	types := make([]string, 0, len(rep.ByType))
+	for t := range rep.ByType {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		fmt.Fprintf(w, "  %-14s %6d\n", t, rep.ByType[t])
+	}
+
+	fmt.Fprintf(w, "\nrouting: %d attempts, %d routed, %d failed (max attempt %d)\n",
+		rep.Routing.Attempts, rep.Routing.Routed, rep.Routing.Failed, rep.Routing.MaxAttempt)
+	for _, r := range sortedKeys(rep.Routing.FailByReason) {
+		fmt.Fprintf(w, "  fail %-12s %6d\n", r, rep.Routing.FailByReason[r])
+	}
+
+	fmt.Fprintf(w, "\n%5s %8s %8s %8s %8s %6s %6s %12s\n",
+		"layer", "winchk", "clean", "resolved", "ripup", "flips", "feas", "recovered")
+	for _, l := range rep.Layers {
+		fmt.Fprintf(w, "%5d %8d %8d %8d %8d %6d %6d %10dnm\n",
+			l.Layer, l.WindowChecks, l.Clean, l.Resolved, l.Ripup,
+			l.ColorFlips, l.FlipsFeasible, l.RecoveredNM)
+	}
+
+	fmt.Fprintf(w, "\ntop nets by attempts:\n%6s %9s %7s %6s %6s %5s\n",
+		"net", "attempts", "ripups", "fails", "wl", "vias")
+	for _, n := range rep.TopNets {
+		fmt.Fprintf(w, "%6d %9d %7d %6d %6d %5d\n",
+			n.Net, n.Attempts, n.Ripups, n.Fails, n.WL, n.Vias)
+	}
+
+	fmt.Fprintf(w, "\nrip-ups: %d total, longest causal chain %d\n", rep.Ripups.Total, rep.Ripups.MaxChain)
+	for _, c := range sortedKeys(rep.Ripups.ByCause) {
+		fmt.Fprintf(w, "  cause %-10s %6d\n", c, rep.Ripups.ByCause[c])
+	}
+	if len(rep.Ripups.ChainDepths) > 0 {
+		fmt.Fprintf(w, "  chain depth:")
+		for _, d := range rep.Ripups.ChainDepths {
+			fmt.Fprintf(w, " %d:%d", d.Depth, d.Count)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(rep.Ripups.TopTriggers) > 0 {
+		fmt.Fprintf(w, "  top triggering nets:")
+		for _, t := range rep.Ripups.TopTriggers {
+			fmt.Fprintf(w, " net%d:%d", t.Net, t.Caused)
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "\nrepair: %d passes, offenders %v, %d nets dropped\n",
+		rep.Repair.Passes, rep.Repair.Offenders, rep.Repair.Dropped)
+
+	if rep.Ledger != nil {
+		fmt.Fprintf(w, "\nledger cell %s (wall-clock section — measurement, not identity):\n", rep.Ledger.Cell)
+		fmt.Fprintf(w, "  wall %.3fs\n", float64(rep.Ledger.WallNS)/1e9)
+		for _, s := range sortedKeys(rep.Ledger.StagesNS) {
+			fmt.Fprintf(w, "  stage %-16s %10.3fs\n", s, float64(rep.Ledger.StagesNS[s])/1e9)
+		}
+		hm := rep.Ledger.CacheHits + rep.Ledger.CacheMiss
+		if hm > 0 {
+			fmt.Fprintf(w, "  decomp cache: %d/%d hits (%.1f%%)\n",
+				rep.Ledger.CacheHits, hm, 100*float64(rep.Ledger.CacheHits)/float64(hm))
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]int64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

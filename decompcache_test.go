@@ -3,7 +3,6 @@ package sadp
 import (
 	"bytes"
 	"fmt"
-	"strings"
 	"testing"
 
 	"sadproute/internal/obs"
@@ -30,16 +29,15 @@ func cacheDump(t *testing.T, sp Spec, cache bool, workers int) (string, string) 
 		t.Fatal(err)
 	}
 	snap := rec.Snapshot()
-	for c := range snap.Counters {
-		name := obs.CounterID(c).String()
-		if strings.HasPrefix(name, "sched.") || strings.HasPrefix(name, "decomp.") {
-			snap.Counters[c] = 0
-		}
-	}
+	snap.ZeroFamily("sched.")
+	snap.ZeroFamily("decomp.")
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "routed=%d failed=%d wl=%d vias=%d\n",
 		res.Routed, res.Failed, res.WirelengthCells, res.Vias)
 	b.WriteString(snap.CountersString())
+	// Per-net attribution happens in the serial commit phase and never in
+	// the oracle, so the table must be identical with the cache on or off.
+	b.WriteString(obs.NetStatsString(rec.NetStats()))
 	fmt.Fprintf(&b, "paths=%v\n", res.Paths)
 	fmt.Fprintf(&b, "colors=%v\n", res.Colors)
 	layers, tot := Evaluate(res)

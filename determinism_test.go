@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"sadproute/internal/bench"
+	"sadproute/internal/obs"
 )
 
 // TestRouteDeterminism guards the ROADMAP's caching/parallelism work: the
@@ -44,6 +45,15 @@ func TestRouteDeterminism(t *testing.T) {
 			res.Routed, res.Failed, res.WirelengthCells, res.Vias)
 		snap := rec.Snapshot()
 		b.WriteString(snap.CountersString())
+		// Per-net attribution: NetStats must come back sorted by canonical
+		// net id, and its rendering joins the byte-identity contract.
+		stats := rec.NetStats()
+		for i := 1; i < len(stats); i++ {
+			if stats[i-1].Net >= stats[i].Net {
+				t.Fatalf("NetStats out of canonical order: net %d before net %d", stats[i-1].Net, stats[i].Net)
+			}
+		}
+		b.WriteString(obs.NetStatsString(stats))
 		fmt.Fprintf(&b, "paths=%v\n", res.Paths)
 		fmt.Fprintf(&b, "colors=%v\n", res.Colors)
 		layers, tot := Evaluate(res)
@@ -95,10 +105,12 @@ func min(a, b int) int {
 
 // TestRouteDeterminismParallel extends the determinism guarantee to the
 // parallel experiment harness: fanning (benchmark × algorithm) cells
-// across a worker pool must merge into the same canonical-order Metrics
-// and the same per-cell JSONL traces as the serial run — workers get
-// private recorders, so concurrency can reorder only wall-clock, never
-// results.
+// across a worker pool must merge into the same canonical-order Metrics,
+// the same per-cell JSONL traces and the same per-net attribution as the
+// serial run — workers get private recorders, so concurrency can reorder
+// only wall-clock, never results. The net-workers axis joins the matrix
+// too: intra-instance parallelism may only populate the sched.* metric
+// family, which the dump zeroes.
 func TestRouteDeterminismParallel(t *testing.T) {
 	specs := []bench.Spec{
 		{Name: "detP1", Nets: 90, Tracks: 40, Layers: 3, Seed: 101, PinCandidates: 2, AvgHPWL: 5, Blockages: 2},
@@ -113,12 +125,18 @@ func TestRouteDeterminismParallel(t *testing.T) {
 	type traceFile struct {
 		bytes.Buffer
 	}
-	run := func(jobs int) (string, map[string]*traceFile) {
+	run := func(jobs, netWorkers int) (string, map[string]*traceFile) {
 		traces := map[string]*traceFile{}
 		var mu sync.Mutex
+		cfg := bench.RunConfig{Rules: Node10nm()}
+		if netWorkers > 1 {
+			opt := Defaults()
+			opt.NetWorkers = netWorkers
+			cfg.RouterOptions = &opt
+		}
 		h := bench.Harness{
 			Jobs: jobs,
-			Cfg:  bench.RunConfig{Rules: Node10nm()},
+			Cfg:  cfg,
 			TraceWriter: func(c bench.Cell) (io.WriteCloser, error) {
 				mu.Lock()
 				defer mu.Unlock()
@@ -140,17 +158,31 @@ func TestRouteDeterminismParallel(t *testing.T) {
 			for j := range m.Obs.StageNS {
 				m.Obs.StageNS[j] = 0
 			}
-			fmt.Fprintf(&b, "%s/%s rout=%.2f so=%.1f conf=%d wl=%d vias=%d ripups=%d\n%s",
+			m.Obs.ZeroFamily("sched.")
+			// NetStats rows must emerge in canonical net order at ANY jobs
+			// and net-workers setting: attribution happens in the serial
+			// commit phase, so the table is invariant, not just sorted.
+			for i := 1; i < len(m.NetStats); i++ {
+				if m.NetStats[i-1].Net >= m.NetStats[i].Net {
+					t.Fatalf("jobs=%d workers=%d %s: NetStats out of canonical order (net %d before net %d)",
+						jobs, netWorkers, m.Bench, m.NetStats[i-1].Net, m.NetStats[i].Net)
+				}
+			}
+			fmt.Fprintf(&b, "%s/%s rout=%.2f so=%.1f conf=%d wl=%d vias=%d ripups=%d\n%s%s",
 				m.Bench, m.Algo, m.RoutabilityPct, m.OverlayUnits,
 				m.Conflicts+m.HardOverlays, m.Wirelength, m.Vias, m.Ripups,
-				m.Obs.CountersString())
+				m.Obs.CountersString(), obs.NetStatsString(m.NetStats))
 		}
 		return b.String(), traces
 	}
-	serial, serialTr := run(1)
-	parallel, parallelTr := run(4)
+	serial, serialTr := run(1, 1)
+	parallel, parallelTr := run(4, 1)
 	if serial != parallel {
 		t.Fatalf("parallel harness is not deterministic:\n--- jobs=1\n%s\n--- jobs=4\n%s", serial, parallel)
+	}
+	netpar, netparTr := run(4, 4)
+	if serial != netpar {
+		t.Fatalf("net-workers=4 run diverges from serial:\n--- workers=1\n%s\n--- workers=4\n%s", serial, netpar)
 	}
 	if len(serialTr) != 2 {
 		t.Fatalf("want 2 traces (one per ours-cell), got %d", len(serialTr))
@@ -162,6 +194,9 @@ func TestRouteDeterminismParallel(t *testing.T) {
 		}
 		if !bytes.Equal(s.Bytes(), p.Bytes()) {
 			t.Fatalf("trace %s is not byte-identical between serial and parallel runs", name)
+		}
+		if n, ok := netparTr[name]; !ok || !bytes.Equal(s.Bytes(), n.Bytes()) {
+			t.Fatalf("trace %s is not byte-identical under net-workers=4 (present: %v)", name, ok)
 		}
 	}
 }

@@ -345,6 +345,7 @@ func (e *Engine) flushObs() {
 	e.Rec.Add(obs.CtrAstarPushes, int64(e.Pushes))
 	e.Rec.Add(obs.CtrAstarPops, int64(e.Pops))
 	e.Rec.Max(obs.GaugeAstarHeapPeak, int64(e.HeapPeak))
+	e.Rec.Observe(obs.HistAstarExpanded, int64(e.Expand))
 }
 
 // trace reconstructs the path ending at index i.

@@ -111,8 +111,11 @@ func (h Harness) Run(cells []Cell) ([]Metrics, error) {
 }
 
 // runCell generates and routes one cell with a private recorder (and trace
-// sink, if configured).
-func (h Harness) runCell(ctx context.Context, c Cell) (Metrics, error) {
+// sink, if configured). Both sink write errors (Recorder.TraceErr) and the
+// trace writer's close error are surfaced: a buffered file writer may only
+// discover a full disk at Close, and swallowing that would publish a
+// silently truncated trace.
+func (h Harness) runCell(ctx context.Context, c Cell) (m Metrics, err error) {
 	cfg := h.Cfg
 	cfg.Context = ctx
 	var rec *obs.Recorder
@@ -123,17 +126,21 @@ func (h Harness) runCell(ctx context.Context, c Cell) (Metrics, error) {
 		}
 		rec = obs.New()
 		if h.TraceWriter != nil {
-			w, err := h.TraceWriter(c)
-			if err != nil {
-				return Metrics{}, err
+			w, werr := h.TraceWriter(c)
+			if werr != nil {
+				return Metrics{}, werr
 			}
-			defer w.Close()
+			defer func() {
+				if cerr := w.Close(); cerr != nil && err == nil {
+					m, err = Metrics{}, fmt.Errorf("closing trace for %s: %w", c, cerr)
+				}
+			}()
 			rec.SetTrace(w)
 		}
 		opt.Obs = rec
 		cfg.RouterOptions = &opt
 	}
-	m, err := Run(Generate(c.Spec), c.Algo, cfg)
+	m, err = Run(Generate(c.Spec), c.Algo, cfg)
 	if err != nil {
 		return Metrics{}, err
 	}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"reflect"
 	"strings"
@@ -31,14 +32,18 @@ func harnessCells() []Cell {
 	return cells
 }
 
-// stripWallClock zeroes the only nondeterministic Metrics fields — CPU and
-// the stage wall-time accumulators — leaving counters, gauges and all
+// stripWallClock zeroes the only nondeterministic Metrics fields — CPU,
+// the stage wall-time accumulators, and the process-wide allocation deltas
+// (which include concurrent cells' allocations under a parallel harness) —
+// leaving counters, gauges, histograms, per-net attribution and all
 // routing/oracle metrics intact for exact comparison.
 func stripWallClock(rows []Metrics) []Metrics {
 	out := make([]Metrics, len(rows))
 	copy(out, rows)
 	for i := range out {
 		out[i].CPU = 0
+		out[i].AllocBytes = 0
+		out[i].AllocObjects = 0
 		for j := range out[i].Obs.StageNS {
 			out[i].Obs.StageNS[j] = 0
 		}
@@ -134,6 +139,30 @@ func TestHarnessParallelMatchesSerial(t *testing.T) {
 	}
 	if sa.Counter(obs.CtrRouteAttempts) == 0 {
 		t.Error("aggregate lost the ours-cells' counters")
+	}
+}
+
+// failingCloser is a trace sink whose Close reports a deferred write
+// failure, the way a buffered file on a full disk does.
+type failingCloser struct{ io.Writer }
+
+func (failingCloser) Close() error { return errors.New("disk full at close") }
+
+// TestHarnessTraceCloseError proves the harness surfaces trace-sink close
+// errors instead of publishing a silently truncated trace.
+func TestHarnessTraceCloseError(t *testing.T) {
+	sp := Spec{Name: "closeerr", Nets: 4, Tracks: 12, Layers: 2, Seed: 3, PinCandidates: 1, AvgHPWL: 4}
+	h := Harness{
+		Jobs:        1,
+		Cfg:         RunConfig{Rules: rules.Node10nm()},
+		TraceWriter: func(Cell) (io.WriteCloser, error) { return failingCloser{io.Discard}, nil },
+	}
+	_, err := h.Run([]Cell{{Spec: sp, Algo: AlgoOurs}})
+	if err == nil || !strings.Contains(err.Error(), "disk full at close") {
+		t.Fatalf("close error swallowed: %v", err)
+	}
+	if !strings.Contains(err.Error(), "closing trace") {
+		t.Fatalf("error lacks close context: %v", err)
 	}
 }
 

@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"sadproute/internal/baseline"
@@ -41,6 +42,15 @@ type Metrics struct {
 	// See docs/trace-schema.md ("Metrics.Obs asymmetry") before comparing
 	// counter columns across algorithms.
 	Obs obs.Snapshot
+	// NetStats is the per-net work attribution table of the run, in
+	// canonical net order. AlgoOurs only; the ledger serializes its head.
+	NetStats []obs.NetStat
+	// AllocBytes/AllocObjects are process-wide runtime.MemStats deltas over
+	// the run (AlgoOurs only) — measurement, not identity: under a parallel
+	// harness they include concurrent cells' allocations. They feed the
+	// ledger's timing section and are never compared byte for byte.
+	AllocBytes   int64
+	AllocObjects int64
 }
 
 // Algo identifies one router under comparison.
@@ -91,6 +101,8 @@ func Run(nl *netlist.Netlist, algo Algo, cfg RunConfig) (Metrics, error) {
 			rec = obs.New()
 			opt.Obs = rec
 		}
+		var ms0 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
 		stopTotal := rec.Span(obs.StageTotal)
 		res := router.Route(nl, cfg.Rules, opt)
 		m.RoutabilityPct = res.Routability()
@@ -102,7 +114,12 @@ func Run(nl *netlist.Netlist, algo Algo, cfg RunConfig) (Metrics, error) {
 		applyTotals(&m, tot)
 		stopEval()
 		stopTotal()
+		var ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms1)
+		m.AllocBytes = int64(ms1.TotalAlloc - ms0.TotalAlloc)
+		m.AllocObjects = int64(ms1.Mallocs - ms0.Mallocs)
 		m.Obs = rec.Snapshot()
+		m.NetStats = rec.NetStats()
 		m.Ripups = int(m.Obs.Counter(obs.CtrRouteRipups))
 	case AlgoTrimGreedy:
 		out := baseline.TrimGreedy{}.Run(nl, cfg.Rules)

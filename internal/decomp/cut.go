@@ -59,6 +59,7 @@ func (e *Engine) DecomposeCut(ly Layout, rec *obs.Recorder) *Result {
 	if rec != nil {
 		rec.Inc(obs.CtrDecompositions)
 		rec.Add(obs.CtrDecompBlobs, int64(res.Blobs))
+		rec.Observe(obs.HistDecompBlobs, int64(res.Blobs))
 		var bridges, assists int64
 		for _, m := range e.mats {
 			switch m.Kind {

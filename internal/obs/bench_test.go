@@ -30,6 +30,48 @@ func BenchmarkCounterEnabled(b *testing.B) {
 	}
 }
 
+// BenchmarkObserveDisabled measures the histogram nil path: like counters,
+// a disabled Observe must stay within ~2× of the BenchmarkCounterDisabled
+// branch cost.
+func BenchmarkObserveDisabled(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Observe(HistAstarExpanded, int64(i))
+	}
+}
+
+// BenchmarkObserveEnabled measures the live bucket-scan-plus-atomic path.
+func BenchmarkObserveEnabled(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Observe(HistAstarExpanded, int64(i))
+	}
+}
+
+// BenchmarkNetAttributionDisabled measures the per-net attribution nil
+// path — the cost routeNet pays per attempt when observability is off.
+func BenchmarkNetAttributionDisabled(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.NetAttempt(i)
+		r.NetSearch(i, 10)
+		r.NetRipup(i, RipWindow)
+	}
+}
+
+// BenchmarkNetAttributionEnabled measures the live mutex-guarded map path.
+// This is per-attempt, not per-node, so tens of nanoseconds are fine.
+func BenchmarkNetAttributionEnabled(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.NetSearch(i&255, 10)
+	}
+}
+
 // BenchmarkSpanDisabled measures a stage span on the nil path.
 func BenchmarkSpanDisabled(b *testing.B) {
 	var r *Recorder

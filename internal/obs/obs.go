@@ -209,6 +209,10 @@ type Recorder struct {
 	counters [numCounters]atomic.Int64
 	gauges   [numGauges]atomic.Int64
 	stageNS  [numStages]atomic.Int64
+	hists    [numHists][HistBuckets]atomic.Int64
+
+	netMu sync.Mutex
+	nets  map[int]*NetStat
 
 	trace *TraceSink
 
@@ -358,15 +362,23 @@ func (r *Recorder) Snapshot() Snapshot {
 	for i := range r.stageNS {
 		s.StageNS[i] = r.stageNS[i].Load()
 	}
+	for i := range r.hists {
+		for j := range r.hists[i] {
+			s.Hists[i][j] = r.hists[i][j].Load()
+		}
+	}
 	return s
 }
 
 // Snapshot is a point-in-time copy of a Recorder's registry. The zero value
-// is an empty snapshot.
+// is an empty snapshot. Per-net attribution (NetStats) is variable-size and
+// deliberately NOT part of the snapshot; consumers read it straight off the
+// Recorder.
 type Snapshot struct {
 	Counters [numCounters]int64
 	Gauges   [numGauges]int64
 	StageNS  [numStages]int64
+	Hists    [numHists][HistBuckets]int64
 }
 
 // Accumulate merges o into s: counters and stage times are summed, gauges
@@ -384,6 +396,29 @@ func (s *Snapshot) Accumulate(o *Snapshot) {
 	}
 	for i := range s.StageNS {
 		s.StageNS[i] += o.StageNS[i]
+	}
+	for i := range s.Hists {
+		for j := range s.Hists[i] {
+			s.Hists[i][j] += o.Hists[i][j]
+		}
+	}
+}
+
+// ZeroFamily zeroes every counter and histogram whose name starts with
+// prefix (e.g. "sched.", "decomp."). Equivalence tests use it to drop the
+// metric families that legitimately differ between configurations — the
+// sched.* family exists only in parallel runs, the decomp.* family shrinks
+// under the memo cache — before comparing snapshots byte for byte.
+func (s *Snapshot) ZeroFamily(prefix string) {
+	for i := CounterID(0); i < numCounters; i++ {
+		if strings.HasPrefix(i.String(), prefix) {
+			s.Counters[i] = 0
+		}
+	}
+	for i := HistID(0); i < numHists; i++ {
+		if strings.HasPrefix(i.String(), prefix) {
+			s.Hists[i] = [HistBuckets]int64{}
+		}
 	}
 }
 
@@ -410,10 +445,12 @@ func (s *Snapshot) EachStage(f func(name string, d time.Duration)) {
 	}
 }
 
-// CountersString renders counters and gauges as "name value" lines in
-// declaration order. It contains no durations, so for a deterministic
-// workload the string is identical across runs (used by the determinism
-// regression tests).
+// CountersString renders counters, gauges and histograms as "name value"
+// lines in declaration order. It contains no durations, so for a
+// deterministic workload the string is identical across runs (used by the
+// determinism regression tests). Histogram names carry the same family
+// prefixes as counters ("sched.", "decomp."), so equivalence dumps that
+// zero a counter family by prefix zero its histograms the same way.
 func (s *Snapshot) CountersString() string {
 	var b strings.Builder
 	for i := CounterID(0); i < numCounters; i++ {
@@ -421,6 +458,10 @@ func (s *Snapshot) CountersString() string {
 	}
 	for i := GaugeID(0); i < numGauges; i++ {
 		fmt.Fprintf(&b, "gauge   %-24s %d\n", i.String(), s.Gauges[i])
+	}
+	for i := HistID(0); i < numHists; i++ {
+		b.WriteString(histString(i, s.Hists[i]))
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

@@ -32,6 +32,7 @@ func (st *state) windowResolve(id int) (bad bool, hot []grid.Cell) {
 			continue
 		}
 		st.rec.Inc(obs.CtrWindowChecks)
+		st.rec.NetWindowCheck(id)
 		var bbox geom.Rect
 		for _, r := range mine {
 			bbox = bbox.Union(r)
@@ -52,6 +53,7 @@ func (st *state) windowResolve(id int) (bad bool, hot []grid.Cell) {
 		}
 		sort.Ints(ids)
 		st.winIDs = ids
+		st.rec.Observe(obs.HistWindowNets, int64(len(ids)))
 
 		// Baseline: the window without the new net.
 		base := st.decompLayer(l, st.windowLayout(l, ids, id))
@@ -123,6 +125,7 @@ func (st *state) windowResolve(id int) (bad bool, hot []grid.Cell) {
 			st.colors[l][n] = col
 		}
 		st.rec.Inc(obs.CtrWindowFailed)
+		st.rec.NetWindowFail(id)
 		if st.rec.Tracing() {
 			st.rec.Trace("window_check", obs.I("net", id), obs.I("layer", l),
 				obs.I("base", baseBad), obs.I("cur", curBad), obs.S("outcome", "ripup"))
@@ -240,6 +243,7 @@ func (st *state) repairConflicts() {
 			st.ripup(id)
 			st.res.Routed--
 			st.rec.Inc(obs.CtrRepairRips)
+			st.rec.NetRipup(id, obs.RipRepair)
 			if st.rec.Tracing() {
 				st.rec.Trace("ripup", obs.I("net", id), obs.S("cause", "repair"))
 			}
@@ -259,6 +263,8 @@ func (st *state) repairConflicts() {
 		st.ripup(id)
 		st.res.Routed--
 		st.res.Failed++
+		st.rec.NetRipup(id, obs.RipRepair)
+		st.rec.NetFail(id)
 		if st.rec.Tracing() {
 			st.rec.Trace("route_fail", obs.I("net", id), obs.S("reason", "repair_drop"))
 		}

@@ -321,6 +321,7 @@ func (st *state) routeNet(id int) {
 	bonusUsed := false
 	for attempt := 0; ; attempt++ {
 		st.rec.Inc(obs.CtrRouteAttempts)
+		st.rec.NetAttempt(id)
 		if st.rec.Tracing() {
 			st.rec.Trace("route_attempt", obs.I("net", id), obs.I("attempt", attempt))
 		}
@@ -339,6 +340,8 @@ func (st *state) routeNet(id int) {
 			}
 			st.res.Failed++
 			st.rec.Inc(obs.CtrNoPath)
+			st.rec.NetFail(id)
+			st.rec.Observe(obs.HistNetAttempts, int64(attempt+1))
 			if st.rec.Tracing() {
 				st.rec.Trace("route_fail", obs.I("net", id), obs.S("reason", "no_path"))
 			}
@@ -348,6 +351,7 @@ func (st *state) routeNet(id int) {
 		odd, infeasible, hot := st.updateGraphs(id)
 		bad := odd || infeasible
 		cause := ""
+		ripCause := obs.RipOddCycle
 		if odd {
 			st.rec.Inc(obs.CtrRipOddCycle)
 			cause = "odd_cycle"
@@ -355,6 +359,7 @@ func (st *state) routeNet(id int) {
 		if infeasible {
 			st.rec.Inc(obs.CtrRipInfeasible)
 			cause = "infeasible"
+			ripCause = obs.RipInfeasible
 		}
 		if !bad {
 			// Color first (pseudo-coloring plus threshold flipping), then
@@ -371,6 +376,7 @@ func (st *state) routeNet(id int) {
 				if wbad {
 					bad = true
 					cause = "window"
+					ripCause = obs.RipWindow
 					hot = append(hot, whot...)
 					st.rec.Inc(obs.CtrRipWindow)
 				}
@@ -378,6 +384,7 @@ func (st *state) routeNet(id int) {
 		}
 		if !bad {
 			st.res.Routed++
+			st.rec.Observe(obs.HistNetAttempts, int64(attempt+1))
 			if st.rec.Tracing() {
 				wl, vias := pathLen(path)
 				st.rec.Trace("route_ok", obs.I("net", id), obs.I("attempt", attempt),
@@ -389,6 +396,7 @@ func (st *state) routeNet(id int) {
 		// sharply inflated costs at the offending cells (lines 7-9).
 		st.ripup(id)
 		st.rec.Inc(obs.CtrRouteRipups)
+		st.rec.NetRipup(id, ripCause)
 		if st.rec.Tracing() {
 			st.rec.Trace("ripup", obs.I("net", id), obs.S("cause", cause))
 		}
@@ -407,6 +415,8 @@ func (st *state) routeNet(id int) {
 				}
 			}
 			st.res.Failed++
+			st.rec.NetFail(id)
+			st.rec.Observe(obs.HistNetAttempts, int64(attempt+1))
 			if st.rec.Tracing() {
 				st.rec.Trace("route_fail", obs.I("net", id), obs.S("reason", "ripup_budget"))
 			}
@@ -429,6 +439,7 @@ func (st *state) ripupBlocker(b, id int) {
 	st.ripup(b)
 	st.res.Routed--
 	st.rec.Inc(obs.CtrBlockerRips)
+	st.rec.NetRipup(b, obs.RipBlocker)
 	if st.rec.Tracing() {
 		st.rec.Trace("ripup", obs.I("net", b), obs.S("cause", "blocker"), obs.I("for", id))
 	}
@@ -444,7 +455,9 @@ func (st *state) search(id int, n netlist.Net) ([]grid.Cell, bool) {
 		return sp.path, sp.ok
 	}
 	cfg := st.searchCfg(id, n)
-	return st.eng.Search(int32(id), n.A.Candidates, n.B.Candidates, cfg)
+	path, ok := st.eng.Search(int32(id), n.A.Candidates, n.B.Candidates, cfg)
+	st.rec.NetSearch(id, int64(st.eng.Expand))
+	return path, ok
 }
 
 // searchCfg builds the A* configuration of a net's first search; shared
@@ -502,6 +515,7 @@ func (st *state) findBlockers(id int, n netlist.Net) []int {
 		SoftOccupied: 40 * st.opt.Alpha * astar.Scale,
 	}
 	path, ok := st.eng.Search(int32(id), n.A.Candidates, n.B.Candidates, cfg)
+	st.rec.NetSearch(id, int64(st.eng.Expand))
 	if !ok {
 		return nil
 	}

@@ -91,7 +91,7 @@ func (st *state) routeWaves(order []int) {
 		}
 		return boxes[id]
 	}
-	waves := sched.Waves(order, box, 0)
+	waves := sched.WavesR(order, box, 0, st.rec)
 
 	st.dirty = &sched.DirtySet{}
 	st.spec = make(map[int]*specResult)
@@ -182,5 +182,7 @@ func (st *state) takeSpec(id int) (*specResult, bool) {
 	st.rec.Add(obs.CtrAstarPushes, int64(sp.pushes))
 	st.rec.Add(obs.CtrAstarPops, int64(sp.pops))
 	st.rec.Max(obs.GaugeAstarHeapPeak, int64(sp.heapPeak))
+	st.rec.Observe(obs.HistAstarExpanded, int64(sp.expand))
+	st.rec.NetSearch(id, int64(sp.expand))
 	return sp, true
 }

@@ -26,7 +26,10 @@
 // the identical schedule, commits, and observability counters.
 package sched
 
-import "sadproute/internal/geom"
+import (
+	"sadproute/internal/geom"
+	"sadproute/internal/obs"
+)
 
 // DefaultMaxWave is the block size of the wave partition: how many nets
 // of the canonical order one wave covers, and therefore the lookahead
@@ -59,6 +62,15 @@ type Wave struct {
 // a speculated search invalidated by an earlier commit is caught by the
 // DirtySet validation and re-run serially, never miscommitted.
 func Waves(order []int, box func(id int) geom.Rect, maxWave int) []Wave {
+	return WavesR(order, box, maxWave, nil)
+}
+
+// WavesR is Waves reporting each wave's speculated-subset size to an
+// observability recorder (the sched.spec_per_wave histogram). The schedule
+// is a pure function of order and boxes, so the histogram — like every
+// sched.* metric — is identical for any NetWorkers >= 2 and absent from
+// serial runs.
+func WavesR(order []int, box func(id int) geom.Rect, maxWave int, rec *obs.Recorder) []Wave {
 	if maxWave <= 0 {
 		maxWave = DefaultMaxWave
 	}
@@ -86,6 +98,7 @@ func Waves(order []int, box func(id int) geom.Rect, maxWave int) []Wave {
 			}
 		}
 		waves = append(waves, Wave{Nets: nets, Spec: spec})
+		rec.Observe(obs.HistSchedSpecWave, int64(len(spec)))
 	}
 	return waves
 }

@@ -38,14 +38,15 @@ func routeDump(t *testing.T, sp Spec, workers int) (string, string) {
 		t.Fatal(err)
 	}
 	snap := rec.Snapshot()
-	snap.Counters[obs.CtrSchedWaves] = 0
-	snap.Counters[obs.CtrSchedSpecSearches] = 0
-	snap.Counters[obs.CtrSchedSpecHits] = 0
-	snap.Counters[obs.CtrSchedSpecRetries] = 0
+	snap.ZeroFamily("sched.")
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "routed=%d failed=%d wl=%d vias=%d\n",
 		res.Routed, res.Failed, res.WirelengthCells, res.Vias)
 	b.WriteString(snap.CountersString())
+	// Per-net attribution is driven entirely by the serial commit phase, so
+	// the table — unlike the sched.* family — must match the serial run
+	// exactly, in canonical net order.
+	b.WriteString(obs.NetStatsString(rec.NetStats()))
 	fmt.Fprintf(&b, "paths=%v\n", res.Paths)
 	fmt.Fprintf(&b, "colors=%v\n", res.Colors)
 	layers, tot := Evaluate(res)
