@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sadproute/internal/serve"
+)
+
+// syncBuf is a goroutine-safe writer: run() writes from the daemon
+// goroutine while the test polls for the listen line.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRe = regexp.MustCompile(`sadpd listening on (\S+)`)
+
+// startDaemon runs the daemon on a free port and returns its base URL,
+// the signal channel that stops it, the output buffer, and a channel
+// carrying run's error.
+func startDaemon(t *testing.T, args ...string) (string, chan os.Signal, *syncBuf, chan error) {
+	t.Helper()
+	sig := make(chan os.Signal, 1)
+	out := &syncBuf{}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), out, sig)
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if m := listenRe.FindStringSubmatch(out.String()); m != nil {
+			return "http://" + m[1], sig, out, errc
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("daemon exited before listening: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never printed the listen line:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitDone polls the job until it is terminal, failing unless it is done.
+func waitDone(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatalf("GET status: %v", err)
+		}
+		var st serve.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode status: %v", err)
+		}
+		if st.State.Terminal() {
+			if st.State != serve.StateDone {
+				t.Fatalf("job %s ended %s (%s)", id, st.State, st.Error)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s", id, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDaemonLifecycle boots the daemon, submits the checked-in example
+// job over real HTTP, fetches the result, then shuts down via the signal
+// path and checks the drain log.
+func TestDaemonLifecycle(t *testing.T) {
+	reqBody, err := os.ReadFile("../../examples/api/request.json")
+	if err != nil {
+		t.Fatalf("reading example request: %v", err)
+	}
+	base, sig, out, errc := startDaemon(t, "-workers", "2", "-queue", "4")
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	ack, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, ack)
+	}
+	wantAck, err := os.ReadFile("../../examples/api/submit-response.json")
+	if err != nil {
+		t.Fatalf("reading example ack: %v", err)
+	}
+	if !bytes.Equal(ack, wantAck) {
+		t.Errorf("live ack %s diverges from examples/api/submit-response.json %s", ack, wantAck)
+	}
+	waitDone(t, base, "j1")
+
+	resp, err = http.Get(base + "/v1/jobs/j1/result")
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	res, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	wantRes, err := os.ReadFile("../../examples/api/result.json")
+	if err != nil {
+		t.Fatalf("reading example result: %v", err)
+	}
+	if !bytes.Equal(res, wantRes) {
+		t.Errorf("live result (%d bytes) diverges from examples/api/result.json (%d bytes)", len(res), len(wantRes))
+	}
+
+	sig <- os.Interrupt
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v\n%s", err, out.String())
+		}
+	case <-time.After(time.Minute):
+		t.Fatalf("daemon did not stop\n%s", out.String())
+	}
+	log := out.String()
+	if !strings.Contains(log, "sadpd draining") || !strings.Contains(log, "sadpd stopped") {
+		t.Errorf("missing drain/stop lines in log:\n%s", log)
+	}
+}
+
+// TestDaemonJournalRecovery runs the daemon twice on the same journal:
+// the second boot must restore the first run's finished job and continue
+// the ID sequence.
+func TestDaemonJournalRecovery(t *testing.T) {
+	reqBody, err := os.ReadFile("../../examples/api/request.json")
+	if err != nil {
+		t.Fatalf("reading example request: %v", err)
+	}
+	journal := filepath.Join(t.TempDir(), "jobs.jsonl")
+
+	base, sig, out, errc := startDaemon(t, "-journal", journal)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	waitDone(t, base, "j1")
+	sig <- os.Interrupt
+	if err := <-errc; err != nil {
+		t.Fatalf("first run: %v\n%s", err, out.String())
+	}
+
+	base2, sig2, out2, errc2 := startDaemon(t, "-journal", journal)
+	resp, err = http.Get(base2 + "/v1/jobs/j1/result")
+	if err != nil {
+		t.Fatalf("GET recovered result: %v", err)
+	}
+	var recovered serve.Result
+	err = json.NewDecoder(resp.Body).Decode(&recovered)
+	resp.Body.Close()
+	if err != nil || recovered.State != serve.StateDone {
+		t.Fatalf("recovered result: err=%v state=%s", err, recovered.State)
+	}
+
+	resp, err = http.Post(base2+"/v1/jobs", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatalf("POST after recovery: %v", err)
+	}
+	var ack serve.SubmitResponse
+	json.NewDecoder(resp.Body).Decode(&ack)
+	resp.Body.Close()
+	if ack.ID != "j2" {
+		t.Errorf("post-recovery ID %s, want j2", ack.ID)
+	}
+	waitDone(t, base2, "j2")
+	sig2 <- os.Interrupt
+	if err := <-errc2; err != nil {
+		t.Fatalf("second run: %v\n%s", err, out2.String())
+	}
+}
+
+// TestFlags covers the CLI error paths.
+func TestFlags(t *testing.T) {
+	var out syncBuf
+	if err := run([]string{"-h"}, &out, nil); err != nil {
+		t.Errorf("-h: %v", err)
+	}
+	if err := run([]string{"-bogus"}, &out, nil); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:0", "-journal", filepath.Join(t.TempDir(), "nodir", "j.jsonl")}, &out, nil); err == nil {
+		t.Error("unopenable journal accepted")
+	}
+}

@@ -115,6 +115,7 @@ func TestFixtureFindings(t *testing.T) {
 		"clock.go:31",               // Duration arithmetic is not a clock read
 		"gorout.go:12",              // whitelisted goroutine
 		"internal/sched/sched.go",   // allowlisted pool package may spawn
+		"internal/serve/serve.go",   // allowlisted job-server pool may spawn
 	}
 	for _, d := range donts {
 		if strings.Contains(out, d) {
@@ -182,6 +183,19 @@ func TestJSONCleanRunEmitsEmptyArray(t *testing.T) {
 	out, err := runLint(t, "-dir", "testdata/mod", "-json", "./internal/sched")
 	if err != nil {
 		t.Fatalf("internal/sched fixture should be clean: %v\n%s", err, out)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean -json run should print [], got:\n%s", out)
+	}
+}
+
+// TestServePoolAllowlisted pins the goroutine-rule allowlist entry for the
+// sadpd job-server pool: its worker-spawning fixture lints clean, so the
+// real internal/serve needs no //lint:allow escape hatches.
+func TestServePoolAllowlisted(t *testing.T) {
+	out, err := runLint(t, "-dir", "testdata/mod", "-json", "./internal/serve")
+	if err != nil {
+		t.Fatalf("internal/serve fixture should be clean: %v\n%s", err, out)
 	}
 	if strings.TrimSpace(out) != "[]" {
 		t.Errorf("clean -json run should print [], got:\n%s", out)

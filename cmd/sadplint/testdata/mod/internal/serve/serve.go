@@ -1,0 +1,25 @@
+// Package serve mirrors the real sadpd job-server pool: it is on the
+// goroutine rule's allowlist, so its bounded worker-pool go statements
+// stay silent.
+package serve
+
+import "sync"
+
+// Pool drains a job queue with a fixed worker count.
+type Pool struct {
+	queue chan int
+	wg    sync.WaitGroup
+}
+
+// Start launches the workers.
+func (p *Pool) Start(workers int, run func(int)) {
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for j := range p.queue {
+				run(j)
+			}
+		}()
+	}
+}

@@ -6,6 +6,7 @@
 //	sadproute -in design.nl -svg out/     # also write per-layer SVGs
 //	sadproute -in design.nl -no-flip      # ablate the color-flipping DP
 //	sadproute -in design.nl -trace t.jsonl -metrics  # observability
+//	sadproute -in design.nl -result r.txt            # canonical result dump
 //	sadproute -in design.nl -cpuprofile cpu.pprof    # profiling
 package main
 
@@ -23,6 +24,7 @@ import (
 	"sadproute/internal/decomp"
 	"sadproute/internal/obs"
 	"sadproute/internal/render"
+	"sadproute/internal/serve"
 )
 
 func main() {
@@ -43,6 +45,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		dcache     = fs.Bool("decomp-cache", true, "memoize the decomposition oracle by layout content (internal/decomp); result byte-identical either way")
 		noGamma    = fs.Bool("no-gamma", false, "disable the type-2-b routing penalty")
 		traceFile  = fs.String("trace", "", "write a deterministic JSONL trace of the run to this file")
+		resultFile = fs.String("result", "", "write the canonical deterministic result dump (summary, paths, colors, counters; no wall-clock) to this file — byte-identical to the sadpd daemon's result_text for the same input")
 		metrics    = fs.Bool("metrics", false, "print the full counter/gauge/stage-timing snapshot")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file")
@@ -115,6 +118,14 @@ func run(args []string, stdout io.Writer) (err error) {
 	stopEval()
 	stopTotal()
 	snap := rec.Snapshot()
+
+	if *resultFile != "" {
+		txt := serve.RenderResultText(nl, res, tot, &snap)
+		if err := os.WriteFile(*resultFile, []byte(txt), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *resultFile)
+	}
 
 	fmt.Fprintf(stdout, "design        : %s (%d nets, %dx%d tracks, %d layers)\n",
 		nl.Name, len(nl.Nets), nl.W, nl.H, nl.Layers)

@@ -113,6 +113,53 @@ func TestTraceAndMetrics(t *testing.T) {
 	}
 }
 
+// TestResultDump checks -result writes the canonical deterministic dump:
+// the paper-metrics header plus paths and colors, identical across runs.
+func TestResultDump(t *testing.T) {
+	nl := sadp.Generate(sadp.Spec{
+		Name: "dump", Nets: 8, Tracks: 16, Layers: 2, Seed: 11,
+		PinCandidates: 1, AvgHPWL: 4,
+	})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dump.nl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sadp.WriteNetlist(f, nl); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	first := filepath.Join(dir, "r1.txt")
+	second := filepath.Join(dir, "r2.txt")
+	for _, out := range []string{first, second} {
+		var b strings.Builder
+		if err := run([]string{"-in", path, "-result", out}, &b); err != nil {
+			t.Fatalf("run with -result failed: %v\n%s", err, b.String())
+		}
+		if !strings.Contains(b.String(), "wrote "+out) {
+			t.Errorf("stdout missing write confirmation:\n%s", b.String())
+		}
+	}
+	data1, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"design dump", "routability", "path ", "color "} {
+		if !strings.Contains(string(data1), want) {
+			t.Errorf("result dump missing %q:\n%s", want, data1)
+		}
+	}
+	data2, err := os.ReadFile(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data1) != string(data2) {
+		t.Error("-result dump is not byte-identical across runs")
+	}
+}
+
 // TestProfiles checks the pprof flags produce non-empty profile files.
 func TestProfiles(t *testing.T) {
 	nl := sadp.Generate(sadp.Spec{

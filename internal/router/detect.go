@@ -227,6 +227,9 @@ func (st *state) repairConflicts() {
 	st.inRepair = true
 	defer func() { st.inRepair = false }()
 	for pass := 0; pass < 10; pass++ {
+		if st.canceled() {
+			return
+		}
 		offenders := st.offenders()
 		st.rec.Inc(obs.CtrRepairPasses)
 		if st.rec.Tracing() {

@@ -7,6 +7,7 @@
 package router
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -220,10 +221,33 @@ type state struct {
 	// id list, cleared and reused across windows instead of reallocated.
 	winNets map[int]bool
 	winIDs  []int
+	// ctx is the run context (RouteCtx). Checked at net and pass
+	// boundaries only: a run that is never cancelled behaves — and
+	// traces — byte-identically to one routed without a context.
+	ctx context.Context
+}
+
+// canceled reports whether the run context has been cancelled. Nil-safe
+// so Route (no context) costs one comparison per check point.
+func (st *state) canceled() bool {
+	return st.ctx != nil && st.ctx.Err() != nil
 }
 
 // Route runs the overlay-aware detailed router on a netlist.
 func Route(nl *netlist.Netlist, ds rules.Set, opt Options) *Result {
+	res, _ := RouteCtx(nil, nl, ds, opt)
+	return res
+}
+
+// RouteCtx is Route under a cancellable run context: the long-lived
+// serving path (internal/serve job cancellation, graceful drain) aborts a
+// route mid-run by cancelling ctx. Cancellation is observed at net,
+// wave and repair-pass boundaries — the cheapest points that still bound
+// the abort latency by one net attempt — and the partial Result is
+// returned together with ctx.Err(). A run whose context is never
+// cancelled (including ctx == nil) is byte-identical to Route: the check
+// points read ctx.Err() and change no routing decision.
+func RouteCtx(ctx context.Context, nl *netlist.Netlist, ds rules.Set, opt Options) (*Result, error) {
 	start := time.Now() //lint:allow wallclock Result.CPU reporting column; never influences routing decisions
 	rec := opt.Obs
 	if opt.DebugWindow || debugWindowEnv {
@@ -239,6 +263,7 @@ func Route(nl *netlist.Netlist, ds rules.Set, opt Options) *Result {
 		opt: opt,
 		pen: make(map[grid.Cell]int),
 		rec: rec,
+		ctx: ctx,
 	}
 	st.eng = astar.Acquire(st.g)
 	defer st.eng.Release()
@@ -284,11 +309,14 @@ func Route(nl *netlist.Netlist, ds rules.Set, opt Options) *Result {
 		st.routeWaves(order)
 	} else {
 		for _, id := range order {
+			if st.canceled() {
+				break
+			}
 			st.routeNet(id)
 		}
 	}
 	// Reroute nets that were ripped up to free resources.
-	for len(st.pending) > 0 {
+	for len(st.pending) > 0 && !st.canceled() {
 		id := st.pending[0]
 		st.pending = st.pending[1:]
 		if _, routed := st.res.Paths[id]; routed {
@@ -298,21 +326,26 @@ func Route(nl *netlist.Netlist, ds rules.Set, opt Options) *Result {
 	}
 	stopRoute()
 
-	// Final full-layout color flipping (line 16 of Fig. 19).
-	if opt.ColorFlip {
+	// Final full-layout color flipping (line 16 of Fig. 19). A cancelled
+	// run skips the finishing passes: its partial Result is discarded by
+	// the caller, so polishing it is pure latency before the abort.
+	if opt.ColorFlip && !st.canceled() {
 		stop := rec.Span(obs.StageColorFlip)
 		st.flipAll()
 		stop()
 	}
 	// Final conflict repair against the oracle.
-	if opt.FinalRepair {
+	if opt.FinalRepair && !st.canceled() {
 		stop := rec.Span(obs.StageFinalRepair)
 		st.repairConflicts()
 		stop()
 	}
 
 	st.res.CPU = time.Since(start) //lint:allow wallclock Result.CPU reporting column; never influences routing decisions
-	return st.res
+	if ctx != nil {
+		return st.res, ctx.Err()
+	}
+	return st.res, nil
 }
 
 // routeNet routes one net with up to MaxRipup rip-up-and-reroute rounds.
@@ -320,6 +353,9 @@ func (st *state) routeNet(id int) {
 	n := st.nl.Nets[id]
 	bonusUsed := false
 	for attempt := 0; ; attempt++ {
+		if st.canceled() {
+			return
+		}
 		st.rec.Inc(obs.CtrRouteAttempts)
 		st.rec.NetAttempt(id)
 		if st.rec.Tracing() {

@@ -113,6 +113,9 @@ func (st *state) routeWaves(order []int) {
 	}()
 
 	for _, wave := range waves {
+		if st.canceled() {
+			return
+		}
 		st.rec.Inc(obs.CtrSchedWaves)
 		if len(wave.Spec) > 1 {
 			stop := st.rec.Span(obs.StageSpeculate)

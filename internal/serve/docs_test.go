@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestAPIDocCoversEndpoints keeps docs/sadpd-api.md in lockstep with the
+// server: every registered route (routeTable) must be named in the doc,
+// and so must every error code the handlers emit. Adding an endpoint or
+// error code without documenting it fails here.
+func TestAPIDocCoversEndpoints(t *testing.T) {
+	b, err := os.ReadFile("../../docs/sadpd-api.md")
+	if err != nil {
+		t.Fatalf("docs/sadpd-api.md must exist: %v", err)
+	}
+	doc := string(b)
+	for _, route := range routeTable {
+		if !strings.Contains(doc, route) {
+			t.Errorf("docs/sadpd-api.md does not document route %q", route)
+		}
+	}
+	for _, code := range []string{
+		"bad_request", "too_large", "not_found", "no_result",
+		"already_terminal", "queue_full", "draining", "no_stream",
+	} {
+		if !strings.Contains(doc, "`"+code+"`") {
+			t.Errorf("docs/sadpd-api.md does not document error code %q", code)
+		}
+	}
+	for _, state := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		if !strings.Contains(doc, "`"+string(state)+"`") {
+			t.Errorf("docs/sadpd-api.md does not document job state %q", state)
+		}
+	}
+}
+
+// TestExamplesFresh replays the checked-in examples/api/request.json
+// against a fresh server and byte-compares the live responses with the
+// checked-in goldens: the worked example in docs/sadpd-api.md can never
+// silently drift from what the daemon actually answers. (The CI smoke
+// step runs the same comparison over real HTTP against the sadpd
+// binary.)
+func TestExamplesFresh(t *testing.T) {
+	reqBody, err := os.ReadFile("../../examples/api/request.json")
+	if err != nil {
+		t.Fatalf("examples/api/request.json must exist: %v", err)
+	}
+	wantAck, err := os.ReadFile("../../examples/api/submit-response.json")
+	if err != nil {
+		t.Fatalf("examples/api/submit-response.json must exist: %v", err)
+	}
+	wantRes, err := os.ReadFile("../../examples/api/result.json")
+	if err != nil {
+		t.Fatalf("examples/api/result.json must exist: %v", err)
+	}
+
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Drain(context.Background())
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	ack, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, ack)
+	}
+	if !bytes.Equal(ack, wantAck) {
+		t.Errorf("submit ack drifted from examples/api/submit-response.json:\ngot  %s\nwant %s", ack, wantAck)
+	}
+
+	if st := waitTerminal(t, ts, "j1"); st.State != StateDone {
+		t.Fatalf("example job ended %s (%s)", st.State, st.Error)
+	}
+	resp, err = ts.Client().Get(ts.URL + "/v1/jobs/j1/result")
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	res, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: status %d", resp.StatusCode)
+	}
+	if !bytes.Equal(res, wantRes) {
+		t.Errorf("result drifted from examples/api/result.json (got %d bytes, want %d) — regenerate the goldens if the change is intended", len(res), len(wantRes))
+	}
+}
+
+// TestOperationsDocExists keeps the runbook satellite honest: the doc
+// must exist and cross-link the pieces it promises.
+func TestOperationsDocExists(t *testing.T) {
+	b, err := os.ReadFile("../../docs/operations.md")
+	if err != nil {
+		t.Fatalf("docs/operations.md must exist: %v", err)
+	}
+	doc := string(b)
+	for _, want := range []string{"sadpd", "sadpload", "bench-ledger.md", "sadpd-api.md", "/debug/metrics", "drain"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("docs/operations.md does not mention %q", want)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// routeTable lists every endpoint the server registers, in documentation
+// order. TestAPIDocCoversEndpoints keeps docs/sadpd-api.md in lockstep
+// with it, so a route added here without documentation fails the suite.
+var routeTable = []string{
+	"POST /v1/jobs",
+	"GET /v1/jobs",
+	"GET /v1/jobs/{id}",
+	"GET /v1/jobs/{id}/result",
+	"POST /v1/jobs/{id}/cancel",
+	"GET /v1/jobs/{id}/events",
+	"GET /healthz",
+	"GET /debug/metrics",
+}
+
+// routes builds the mux from routeTable's patterns.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /debug/metrics", s.handleMetrics)
+	return mux
+}
+
+// maxRequestBytes bounds a submit body: netlists are text, and the
+// largest paper-scale instance (28k nets) serializes well under this.
+const maxRequestBytes = 64 << 20
+
+// handleSubmit is POST /v1/jobs: validate, admit (FIFO, bounded), 202.
+// 429 + Retry-After when the queue is full, 503 while draining.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.rejectedDraining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining; not accepting jobs")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "reading body: "+err.Error())
+		return
+	}
+	if len(body) > maxRequestBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+			fmt.Sprintf("request body exceeds %d bytes", maxRequestBytes))
+		return
+	}
+	var req Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "parsing JSON: "+err.Error())
+		return
+	}
+	j, err := s.store.Add(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	j.bind(s.cfg.BaseCtx)
+	// Snapshot the ack before the pool can touch the job, so the response
+	// is deterministic (always "queued", position at admission).
+	pos, _ := s.pool.depth()
+	ack := SubmitResponse{ID: j.id, State: StateQueued, QueuePos: pos}
+	if !s.pool.tryEnqueue(j) {
+		s.store.Finish(j, StateCanceled, "rejected: admission queue full", nil)
+		s.rejectedFull.Add(1)
+		writeError(w, http.StatusTooManyRequests, "queue_full",
+			"admission queue is full; retry after the Retry-After delay")
+		return
+	}
+	s.submitted.Add(1)
+	writeJSON(w, http.StatusAccepted, ack)
+}
+
+// handleList is GET /v1/jobs: every job's status in admission order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.store.List()
+	out := struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{Jobs: make([]JobStatus, 0, len(jobs))}
+	for _, j := range jobs {
+		out.Jobs = append(out.Jobs, j.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// job resolves the {id} path value, writing 404 on a miss.
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no such job: "+r.PathValue("id"))
+	}
+	return j, ok
+}
+
+// handleStatus is GET /v1/jobs/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleResult is GET /v1/jobs/{id}/result: 200 with the Result once the
+// job is done; 409 with the current state otherwise.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	res, ok := j.ResultNow()
+	if !ok {
+		st := j.Status()
+		msg := fmt.Sprintf("job %s has no result: state %s", st.ID, st.State)
+		if st.Error != "" {
+			msg += ": " + st.Error
+		}
+		writeError(w, http.StatusConflict, "no_result", msg)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleCancel is POST /v1/jobs/{id}/cancel: a queued job is finished as
+// canceled immediately; a running job has its context cancelled and the
+// worker records the terminal state (RouteCtx observes the cancellation
+// at the next net boundary). Cancelling a terminal job is a 409.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	j.mu.Lock()
+	st := j.state
+	j.mu.Unlock()
+	if st.Terminal() {
+		writeError(w, http.StatusConflict, "already_terminal",
+			fmt.Sprintf("job %s is already %s", j.id, st))
+		return
+	}
+	// Cancel the context first: if a worker claims the job between our
+	// state read and Finish, its RouteCtx aborts immediately anyway.
+	if j.cancel != nil {
+		j.cancel()
+	}
+	s.store.Finish(j, StateCanceled, "canceled by client", nil)
+	s.canceled.Add(1)
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleEvents is GET /v1/jobs/{id}/events: Server-Sent Events. Grammar
+// (docs/sadpd-api.md "SSE event grammar"): one `state` event on
+// subscribe, one `trace` event per JSONL trace line (id: = 1-based line
+// number; resume with ?from=N or Last-Event-ID), and a final `end` event
+// carrying the terminal JobStatus.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "no_stream", "response writer does not support streaming")
+		return
+	}
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad_request", "from must be a non-negative integer")
+			return
+		}
+		from = n
+	} else if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			from = n
+		}
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	sse := func(id int, event string, data any) {
+		if id > 0 {
+			fmt.Fprintf(w, "id: %d\n", id)
+		}
+		b, _ := json.Marshal(data)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+	}
+	sse(0, "state", j.Status())
+	fl.Flush()
+
+	i := from
+	for {
+		wake := j.tail.Wait()
+		lines, closed := j.tail.Lines(i)
+		if len(lines) > 0 {
+			for _, line := range lines {
+				i++
+				if i > 0 {
+					fmt.Fprintf(w, "id: %d\n", i)
+				}
+				// Trace lines are already JSON; stream them verbatim.
+				fmt.Fprintf(w, "event: trace\ndata: %s\n\n", line)
+			}
+			fl.Flush()
+			continue
+		}
+		if closed {
+			sse(0, "end", j.Status())
+			fl.Flush()
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleHealth is GET /healthz.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	jerr := ""
+	if err := s.store.JournalErr(); err != nil {
+		jerr = err.Error()
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status       string `json:"status"`
+		JournalError string `json:"journal_error,omitempty"`
+	}{Status: status, JournalError: jerr})
+}
+
+// serverMetrics is the GET /debug/metrics body: service-level lifecycle
+// counters. Per-job routing metrics live in each job's result counters.
+type serverMetrics struct {
+	JobsSubmitted     int64 `json:"jobs_submitted"`
+	JobsCompleted     int64 `json:"jobs_completed"`
+	JobsFailed        int64 `json:"jobs_failed"`
+	JobsCanceled      int64 `json:"jobs_canceled"`
+	RejectedQueueFull int64 `json:"rejected_queue_full"`
+	RejectedDraining  int64 `json:"rejected_draining"`
+	JobsRunning       int64 `json:"jobs_running"`
+	QueueDepth        int   `json:"queue_depth"`
+	QueueCapacity     int   `json:"queue_capacity"`
+	Workers           int   `json:"workers"`
+	Draining          bool  `json:"draining"`
+}
+
+// handleMetrics is GET /debug/metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	depth, capacity := s.pool.depth()
+	writeJSON(w, http.StatusOK, serverMetrics{
+		JobsSubmitted:     s.submitted.Load(),
+		JobsCompleted:     s.completed.Load(),
+		JobsFailed:        s.failed.Load(),
+		JobsCanceled:      s.canceled.Load(),
+		RejectedQueueFull: s.rejectedFull.Load(),
+		RejectedDraining:  s.rejectedDraining.Load(),
+		JobsRunning:       s.running.Load(),
+		QueueDepth:        depth,
+		QueueCapacity:     capacity,
+		Workers:           s.cfg.Workers,
+		Draining:          s.draining.Load(),
+	})
+}

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// journalRecord is one line of the JSONL job journal. Two operations:
+//
+//	{"op":"submit","id":"j1","req":{...}}          — job admitted
+//	{"op":"end","id":"j1","state":"done", ...}     — job reached a terminal state
+//
+// Records carry no timestamps (determinism contract), so a journal of a
+// deterministic workload is itself reproducible. Recovery semantics: a
+// job with a submit record and no end record was in flight when the
+// process died and is re-enqueued on Recover.
+type journalRecord struct {
+	Op     string  `json:"op"`
+	ID     string  `json:"id"`
+	Req    Request `json:"req,omitempty"`
+	State  State   `json:"state,omitempty"`
+	Error  string  `json:"error,omitempty"`
+	Result *Result `json:"result,omitempty"`
+}
+
+// Store is the in-memory job table, with an optional append-only JSONL
+// journal for restart recovery.
+type Store struct {
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string
+	seq     int
+	journal io.Writer
+	jerr    error
+}
+
+// NewStore builds a Store; journal may be nil (no persistence).
+func NewStore(journal io.Writer) *Store {
+	return &Store{jobs: make(map[string]*Job), journal: journal}
+}
+
+// JournalErr returns the first journal write error, if any. Jobs keep
+// running when the journal fails; the error is surfaced in /healthz so
+// operators notice the lost recovery guarantee.
+func (s *Store) JournalErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jerr
+}
+
+// appendLocked journals one record. Callers hold s.mu.
+func (s *Store) appendLocked(rec journalRecord) {
+	if s.journal == nil || s.jerr != nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		s.jerr = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := s.journal.Write(b); err != nil {
+		s.jerr = err
+	}
+}
+
+// Add validates and admits a request: parse, assign the next sequential
+// ID, journal the submission. The job is returned in StateQueued, not yet
+// bound to a context or enqueued — the Server does both under its
+// admission lock.
+func (s *Store) Add(req Request) (*Job, error) {
+	nl, ds, opt, err := compileRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	traceOn := req.Trace == nil || *req.Trace
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &Job{
+		id:      "j" + strconv.Itoa(s.seq),
+		req:     req,
+		nl:      nl,
+		ds:      ds,
+		opt:     opt,
+		traceOn: traceOn,
+		tail:    newTail(),
+		state:   StateQueued,
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.appendLocked(journalRecord{Op: "submit", ID: j.id, Req: req})
+	return j, nil
+}
+
+// Get looks a job up by ID.
+func (s *Store) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// List returns every job in admission order.
+func (s *Store) List() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Finish moves a job to a terminal state, stores the result, journals the
+// transition, and closes the job's trace tail (releasing SSE
+// subscribers). Finishing an already-terminal job is a no-op, which makes
+// the cancel/worker race benign.
+func (s *Store) Finish(j *Job, state State, errMsg string, res *Result) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.errMsg = errMsg
+	j.result = res
+	j.mu.Unlock()
+	j.tail.Close()
+	s.mu.Lock()
+	s.appendLocked(journalRecord{Op: "end", ID: j.id, State: state, Error: errMsg, Result: res})
+	s.mu.Unlock()
+}
+
+// Replay loads a journal written by a previous process. Jobs whose
+// terminal record is present are restored read-only (status and result
+// queryable); jobs that never ended are returned, in admission order, for
+// the caller to re-enqueue. The store's ID sequence resumes after the
+// highest replayed ID, so new submissions never collide.
+func (s *Store) Replay(r io.Reader) ([]*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var recovered []*Job
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, fmt.Errorf("journal line %d: %w", lineNo, err)
+		}
+		switch rec.Op {
+		case "submit":
+			nl, ds, opt, err := compileRequest(rec.Req)
+			if err != nil {
+				return nil, fmt.Errorf("journal line %d: job %s: %w", lineNo, rec.ID, err)
+			}
+			j := &Job{
+				id:      rec.ID,
+				req:     rec.Req,
+				nl:      nl,
+				ds:      ds,
+				opt:     opt,
+				traceOn: rec.Req.Trace == nil || *rec.Req.Trace,
+				tail:    newTail(),
+				state:   StateQueued,
+			}
+			if _, dup := s.jobs[rec.ID]; dup {
+				return nil, fmt.Errorf("journal line %d: duplicate submit for %s", lineNo, rec.ID)
+			}
+			s.jobs[rec.ID] = j
+			s.order = append(s.order, rec.ID)
+			if n, err := strconv.Atoi(strings.TrimPrefix(rec.ID, "j")); err == nil && n > s.seq {
+				s.seq = n
+			}
+			recovered = append(recovered, j)
+		case "end":
+			j, ok := s.jobs[rec.ID]
+			if !ok {
+				return nil, fmt.Errorf("journal line %d: end for unknown job %s", lineNo, rec.ID)
+			}
+			j.state = rec.State
+			j.errMsg = rec.Error
+			j.result = rec.Result
+			j.tail.Close()
+			for i, r := range recovered {
+				if r == j {
+					recovered = append(recovered[:i], recovered[i+1:]...)
+					break
+				}
+			}
+		default:
+			return nil, fmt.Errorf("journal line %d: unknown op %q", lineNo, rec.Op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recovered, nil
+}

@@ -1,0 +1,116 @@
+package serve
+
+import "sync"
+
+// tail is an append-only, line-oriented broadcast buffer: the job's
+// obs.TraceSink writes JSONL into it, and any number of SSE subscribers
+// read complete lines from any offset, blocking on Wait for more. It is
+// the in-memory analogue of tailing the trace file — subscribers that
+// connect late replay from the start (or any ?from offset) and then
+// follow live.
+type tail struct {
+	mu     sync.Mutex
+	lines  []string
+	part   []byte
+	closed bool
+	wake   chan struct{}
+}
+
+func newTail() *tail {
+	return &tail{wake: make(chan struct{})}
+}
+
+// Write implements io.Writer for the trace sink, splitting the byte
+// stream into complete lines. The sink emits exactly one full line per
+// call, but partial writes are buffered correctly anyway.
+func (t *tail) Write(p []byte) (int, error) {
+	n := len(p)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		// The run is over; late writes (there should be none) are dropped
+		// rather than resurrecting subscribers.
+		return n, nil
+	}
+	appended := false
+	for len(p) > 0 {
+		i := -1
+		for k, b := range p {
+			if b == '\n' {
+				i = k
+				break
+			}
+		}
+		if i < 0 {
+			t.part = append(t.part, p...)
+			break
+		}
+		line := append(t.part, p[:i]...)
+		t.part = nil
+		t.lines = append(t.lines, string(line))
+		appended = true
+		p = p[i+1:]
+	}
+	if appended {
+		t.notifyLocked()
+	}
+	return n, nil
+}
+
+// Close marks the stream complete (job reached a terminal state) and
+// wakes every subscriber. Idempotent.
+func (t *tail) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	if len(t.part) > 0 {
+		t.lines = append(t.lines, string(t.part))
+		t.part = nil
+	}
+	t.closed = true
+	t.notifyLocked()
+}
+
+func (t *tail) notifyLocked() {
+	close(t.wake)
+	t.wake = make(chan struct{})
+}
+
+// Lines returns the complete lines at and after offset from, plus whether
+// the stream is closed. The returned slice aliases the internal buffer,
+// which is append-only — safe to read concurrently.
+func (t *tail) Lines(from int) ([]string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(t.lines) {
+		return nil, t.closed
+	}
+	return t.lines[from:], t.closed
+}
+
+// Len returns the number of complete lines and whether the stream is
+// closed.
+func (t *tail) Len() (int, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.lines), t.closed
+}
+
+// Wait returns a channel closed at the next append or Close. Fetch the
+// channel BEFORE checking Lines: the generation swap makes the check-
+// then-wait sequence race-free.
+func (t *tail) Wait() <-chan struct{} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		c := make(chan struct{})
+		close(c)
+		return c
+	}
+	return t.wake
+}

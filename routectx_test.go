@@ -1,0 +1,39 @@
+package sadp
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestRouteCtxFacade pins the facade contract: a background context is
+// byte-identical to Route, and a pre-cancelled one returns ctx.Err()
+// before routing any net.
+func TestRouteCtxFacade(t *testing.T) {
+	nl := Generate(Spec{
+		Name: "ctx", Nets: 24, Tracks: 24, Layers: 2, Seed: 6,
+		PinCandidates: 1, AvgHPWL: 5,
+	})
+	want := Route(nl, Node10nm(), Defaults())
+	got, err := RouteCtx(context.Background(), nl, Node10nm(), Defaults())
+	if err != nil {
+		t.Fatalf("RouteCtx(background): %v", err)
+	}
+	if !reflect.DeepEqual(got.Paths, want.Paths) {
+		t.Error("RouteCtx paths differ from Route")
+	}
+	if !reflect.DeepEqual(got.Colors, want.Colors) {
+		t.Error("RouteCtx colors differ from Route")
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RouteCtx(cancelled, nl, Node10nm(), Defaults())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RouteCtx err = %v, want context.Canceled", err)
+	}
+	if len(res.Paths) != 0 {
+		t.Errorf("pre-cancelled RouteCtx routed %d nets, want 0", len(res.Paths))
+	}
+}

@@ -20,6 +20,7 @@
 package sadp
 
 import (
+	"context"
 	"io"
 
 	"sadproute/internal/bench"
@@ -93,6 +94,14 @@ func Defaults() Options { return router.Defaults() }
 // Route runs the overlay-aware detailed router.
 func Route(nl *Netlist, ds Rules, opt Options) *Result {
 	return router.Route(nl, ds, opt)
+}
+
+// RouteCtx is Route under a cancellable context (job cancellation and
+// graceful drain in the sadpd daemon). The partial result and ctx.Err()
+// are returned on cancellation; a never-cancelled context yields a
+// result byte-identical to Route.
+func RouteCtx(ctx context.Context, nl *Netlist, ds Rules, opt Options) (*Result, error) {
+	return router.RouteCtx(ctx, nl, ds, opt)
 }
 
 // Evaluate decomposes a routing result with the cut-process oracle and
