@@ -10,6 +10,7 @@
 //	experiments -which ablation               # design-choice ablations
 //	experiments -which stages                 # per-stage timing breakdown
 //	experiments -which decompcache            # decomposition memo on/off
+//	experiments -which ripuppar               # rip-up accelerations on/off
 //
 // -scale small shrinks the benchmark sizes for quick runs; -scale paper
 // uses the paper's 1.5k-28k-net sizes; -scale tiny is the CI smoke size.
@@ -49,7 +50,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		which  = fs.String("which", "table2", "comma list: table2,table3,table4,fig20,fig21,fig22,stages,netpar,decompcache,golden,appendix,ablation,all")
+		which  = fs.String("which", "table2", "comma list: table2,table3,table4,fig20,fig21,fig22,stages,netpar,ripuppar,decompcache,golden,appendix,ablation,all")
 		scale  = fs.String("scale", "small", "benchmark scale: tiny | small | medium | paper")
 		outDir = fs.String("out", "results", "output directory")
 		budget = fs.Duration("budget", 30*time.Minute, "per-run time budget for the exhaustive baseline")
@@ -122,6 +123,7 @@ func run(args []string, stdout io.Writer) error {
 		{"fig20", func() (string, error) { return fig20(ds, *scale, h) }},
 		{"stages", func() (string, error) { return stages(ds, *scale, h) }},
 		{"netpar", func() (string, error) { return netpar(ds, *scale) }},
+		{"ripuppar", func() (string, error) { return ripuppar(ds, *scale, *netW) }},
 		{"decompcache", func() (string, error) { return decompcache(ds, *scale) }},
 		{"golden", func() (string, error) { return golden(ds, *outDir, h) }},
 		{"fig21", func() (string, error) { return fig21(ds, *outDir) }},

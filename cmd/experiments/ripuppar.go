@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"strings"
+	"time"
+
+	"sadproute/internal/bench"
+	"sadproute/internal/obs"
+	"sadproute/internal/router"
+	"sadproute/internal/rules"
+)
+
+// ripuppar measures the two rip-up accelerations on the largest benchmark
+// of the chosen scale: incremental dirty-region decomposition
+// (Options.IncrementalDecomp) and episode speculation on the serial
+// rip-up phases (Options.RipupSpec), separately and combined. One routing
+// run per configuration, one at a time, so wall clocks are unpolluted by
+// sibling runs.
+//
+// Output discipline: every line prefixed "det" is deterministic for a
+// fixed spec — configuration labels, result fingerprints and the
+// identical verdicts — and CI diffs exactly those lines between a
+// -net-workers 4 and a -net-workers 1 invocation. Timing lines (no
+// prefix) carry wall-clock noise and the machine-independent
+// serial/makespan stage pair: ripup_serial sums the episode pre-search
+// durations, ripup_makespan is their LPT critical path on the worker
+// count, so serial/makespan bounds the episode-phase speedup with every
+// worker on its own core even when CI cores are oversubscribed.
+func ripuppar(ds rules.Set, scale string, netWorkers int) (string, error) {
+	specs := specsFor(scale, true)
+	sp := specs[len(specs)-1]
+	specW := netWorkers
+	if specW < 2 {
+		specW = 4
+	}
+
+	type cfg struct {
+		label     string
+		inc, spec bool
+		workers   int
+	}
+	cfgs := []cfg{
+		{"serial", false, false, 1},
+		{"incremental", true, false, 1},
+		{"speculative", false, true, specW},
+		{"combined", true, true, specW},
+	}
+
+	type runRow struct {
+		cfg                        cfg
+		wall                       time.Duration
+		serial, makespan           time.Duration
+		searches, adopted, wasted  int64
+		incHits, splices, fallback int64
+		fingerprint                string
+		routed, failed, wl, vias   int
+	}
+
+	route := func(c cfg) runRow {
+		nl := bench.Generate(sp)
+		opt := router.Defaults()
+		opt.IncrementalDecomp = c.inc
+		opt.RipupSpec = c.spec
+		opt.NetWorkers = c.workers
+		rec := obs.New()
+		opt.Obs = rec
+		res := router.Route(nl, ds, opt)
+		snap := rec.Snapshot()
+		// The fingerprint covers everything deterministic about the run:
+		// route shape, per-net attribution, and every counter outside the
+		// three execution-strategy families (sched.* and ripup.* exist only
+		// with workers, decomp.* varies with the memo/incremental setup).
+		snap.ZeroFamily("sched.")
+		snap.ZeroFamily("decomp.")
+		snap.ZeroFamily("ripup.")
+		var fp bytes.Buffer
+		fmt.Fprintf(&fp, "routed=%d failed=%d wl=%d vias=%d paths=%v colors=%v\n",
+			res.Routed, res.Failed, res.WirelengthCells, res.Vias, res.Paths, res.Colors)
+		fp.WriteString(snap.CountersString())
+		fp.WriteString(obs.NetStatsString(rec.NetStats()))
+		s := rec.Snapshot()
+		return runRow{
+			cfg:         c,
+			wall:        time.Duration(s.StageNS[obs.StageRoute]),
+			serial:      time.Duration(s.StageNS[obs.StageRipupSerial]),
+			makespan:    time.Duration(s.StageNS[obs.StageRipupMakespan]),
+			searches:    s.Counter(obs.CtrRipupSpecSearches),
+			adopted:     s.Counter(obs.CtrRipupSpecAdopted),
+			wasted:      s.Counter(obs.CtrRipupSpecWasted),
+			incHits:     s.Counter(obs.CtrDecompIncHits),
+			splices:     s.Counter(obs.CtrDecompIncSplices),
+			fallback:    s.Counter(obs.CtrDecompIncFallbacks),
+			fingerprint: fmt.Sprintf("%x", sha256.Sum256(fp.Bytes()))[:16],
+			routed:      res.Routed, failed: res.Failed,
+			wl: res.WirelengthCells, vias: res.Vias,
+		}
+	}
+
+	var rows []runRow
+	for _, c := range cfgs {
+		rows = append(rows, route(c))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "ripuppar — rip-up acceleration (%s, %d nets, one run at a time)\n\n", sp.Name, sp.Nets)
+	base := rows[0]
+	for _, r := range rows {
+		ident := "yes"
+		if r.fingerprint != base.fingerprint {
+			ident = "NO"
+		}
+		fmt.Fprintf(&b, "det %-12s routed=%d failed=%d wl=%d vias=%d fingerprint=%s identical=%s\n",
+			r.cfg.label, r.routed, r.failed, r.wl, r.vias, r.fingerprint, ident)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-12s %8s %10s %12s %14s %8s %6s %8s %7s %8s %8s %9s\n",
+		"config", "workers", "wall(s)", "serial(s)", "makespan(s)", "ripup-x",
+		"spec#", "adopted", "wasted", "inchits", "splices", "fallbacks")
+	for _, r := range rows {
+		ripupX := 1.0
+		if r.makespan > 0 {
+			ripupX = float64(r.serial) / float64(r.makespan)
+		}
+		fmt.Fprintf(&b, "%-12s %8d %10.3f %12.3f %14.3f %8.2f %6d %8d %7d %8d %8d %9d\n",
+			r.cfg.label, r.cfg.workers, r.wall.Seconds(), r.serial.Seconds(),
+			r.makespan.Seconds(), ripupX, r.searches, r.adopted, r.wasted,
+			r.incHits, r.splices, r.fallback)
+	}
+	b.WriteString("\nripup-x = serial/makespan: the episode pre-search phase's speedup bound with every\n")
+	b.WriteString("worker on its own core (LPT critical path over the measured search durations).\n")
+	b.WriteString("det lines (fingerprint = sha256 over route shape, per-net attribution and all\n")
+	b.WriteString("non-sched/decomp/ripup counters) are identical for any -net-workers value.\n")
+	for _, r := range rows {
+		if r.fingerprint != base.fingerprint {
+			return b.String(), fmt.Errorf("ripuppar: %s result diverges from serial", r.cfg.label)
+		}
+	}
+	return b.String(), nil
+}

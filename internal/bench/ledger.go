@@ -13,7 +13,8 @@
 //     tests compare ledgers on this section alone (DeterministicBytes).
 //   - "sched" is deterministic only for a fixed NetWorkers configuration
 //     (empty on serial runs, identical for every NetWorkers >= 2): the
-//     sched.* counter and histogram family.
+//     sched.* counter and histogram family, plus the ripup.* episode
+//     speculation family, which likewise engages only with spare workers.
 //   - "timing" is wall-clock and allocation measurement — never
 //     reproducible, compared only with noise thresholds (cmd/benchdiff).
 //
@@ -256,10 +257,13 @@ func makeCell(exp string, m *Metrics) LedgerCell {
 	return c
 }
 
-// isSchedMetric reports whether a metric belongs to the NetWorkers-
-// dependent family (see package comment).
+// isSchedMetric reports whether a metric belongs to an execution-strategy
+// family (see package comment): sched.* varies with NetWorkers, ripup.*
+// with Options.RipupSpec. Both describe how the result was computed, not
+// what was computed, so the det section excludes them.
 func isSchedMetric(name string) bool {
-	return len(name) >= 6 && name[:6] == "sched."
+	return (len(name) >= 6 && name[:6] == "sched.") ||
+		(len(name) >= 6 && name[:6] == "ripup.")
 }
 
 // topNets ranks the attribution table by expanded nodes descending, net id

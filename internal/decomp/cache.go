@@ -44,6 +44,7 @@ type Cache struct {
 	key     []byte        // serialization scratch
 	order   []int         // pattern sort scratch
 	eng     *Engine       // owned scratch engine for misses
+	builds  int64         // canonical key serializations (KeyBuilds)
 }
 
 type cacheEntry struct {
@@ -91,8 +92,16 @@ func (c *Cache) DecomposeCut(ly Layout, rec *obs.Recorder) *Result {
 		}
 	}
 	rec.Inc(obs.CtrDecompCacheMisses)
+	// Copy the key bytes BEFORE running the oracle, not after: c.key is
+	// shared serialization scratch, and a caller layered on this cache
+	// (the incremental decomposition engine computes sub-layouts through
+	// it) may re-enter DecomposeCut while the miss is being filled. The
+	// copy pins this entry's key so a nested buildKey cannot clobber it —
+	// and the entry is stored from the copy, never re-serialized
+	// (BenchmarkDecompCacheMiss asserts exactly one build per lookup).
+	key := append([]byte(nil), c.key...)
 	res := c.eng.DecomposeCut(ly, rec)
-	ent := &cacheEntry{hash: h, key: append([]byte(nil), c.key...), res: res}
+	ent := &cacheEntry{hash: h, key: key, res: res}
 	if c.Paranoid {
 		ent.snap = deepCopyResult(res)
 	}
@@ -143,12 +152,36 @@ func (c *Cache) CheckIntegrity() error {
 	return nil
 }
 
+// KeyBuilds returns how many canonical key serializations the cache has
+// performed — exactly one per DecomposeCut lookup. Regression guard for
+// the miss path: a reintroduced re-serialization (e.g. rebuilding the key
+// to store the entry after the oracle ran) doubles this per miss, which
+// BenchmarkDecompCacheMiss asserts against.
+func (c *Cache) KeyBuilds() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.builds
+}
+
 // buildKey serializes ly into c.key canonically and returns its FNV-1a
 // hash. Patterns are ordered by net id (stable for duplicates), so any
 // two layouts with the same geometry, rules and coloring — however their
 // pattern lists are ordered — share one entry.
 func (c *Cache) buildKey(ly Layout) uint64 {
-	k := c.key[:0]
+	c.builds++
+	c.key, c.order = layoutKey(c.key[:0], c.order[:0], ly)
+	return fnv1a(c.key)
+}
+
+// layoutKey appends the canonical byte serialization of ly to k: rules,
+// die, assist mode, then the patterns sorted by net id (stable for
+// duplicates) with colors and rects. Shared by the memo cache (entry
+// keys) and the incremental engine (unchanged-layout detection and delta
+// keys, which are simply the canonical keys of sub-layouts). order is
+// sort scratch; the (possibly regrown) key and scratch are returned for
+// reuse.
+func layoutKey(k []byte, order []int, ly Layout) ([]byte, []int) {
 	k = appendInts(k, ly.Rules.WLine, ly.Rules.WSpacer, ly.Rules.WCut,
 		ly.Rules.WCore, ly.Rules.DCut, ly.Rules.DCore, ly.Rules.DOverlap)
 	k = appendInts(k, ly.Die.X0, ly.Die.Y0, ly.Die.X1, ly.Die.Y1)
@@ -157,14 +190,13 @@ func (c *Cache) buildKey(ly Layout) uint64 {
 	} else {
 		k = append(k, 0)
 	}
-	order := c.order[:0]
+	order = order[:0]
 	for i := range ly.Pats {
 		order = append(order, i)
 	}
 	sort.SliceStable(order, func(a, b int) bool {
 		return ly.Pats[order[a]].Net < ly.Pats[order[b]].Net
 	})
-	c.order = order[:0]
 	k = appendInts(k, len(ly.Pats))
 	for _, pi := range order {
 		p := &ly.Pats[pi]
@@ -173,8 +205,7 @@ func (c *Cache) buildKey(ly Layout) uint64 {
 			k = appendInts(k, r.X0, r.Y0, r.X1, r.Y1)
 		}
 	}
-	c.key = k
-	return fnv1a(k)
+	return k, order[:0]
 }
 
 func appendInts(k []byte, vs ...int) []byte {

@@ -1,0 +1,596 @@
+package decomp
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"sadproute/internal/geom"
+	"sadproute/internal/obs"
+)
+
+// Incremental wraps the decomposition oracle with dirty-region reuse: when
+// a layer changes by a few nets (the shape of every rip-up episode), it
+// re-derives only the patterns whose materials could interact with the
+// change and splices their fresh verdict into the previous Result instead
+// of re-running the oracle over the whole layer.
+//
+// The splice is sound because material influence is local. Assistant cores
+// reach at most w_spacer+w_core beyond their second pattern and are shaped
+// by targets within d_core of that ring; merges happen under d_core;
+// overlay measurement reads material within w_spacer+1 of a target; cut
+// conflict pairing is gated at d_cut. So two groups of geometry separated
+// by at least
+//
+//	d_sep = w_spacer + w_core + d_core + d_cut + 2
+//
+// decompose independently: neither group's materials, overlays or
+// conflicts depend on the other. Incremental grows the changed-net set to
+// a fixpoint under a dilation of
+//
+//	reach = d_sep + (w_spacer + 2*w_core + d_core)
+//
+// (the parenthesized term bounds how far synthesized material can extend
+// beyond its generating patterns: assist ring plus a thick corner bridge),
+// so at the fixpoint the untouched side is at least d_sep from everything
+// the re-decomposed side can produce. A direct seam check re-verifies that
+// distance at splice time and falls back to a full recompute if it ever
+// fails — the splice path never guesses.
+//
+// Delta keys: the affected sub-layout is decomposed through the shared
+// content-addressed Cache when one is attached, so the canonical key of
+// the sub-layout is the delta key — repeated rip-ups of the same net hit
+// the memo instead of re-running the oracle.
+//
+// Counters: an unchanged layout returns the previous Result and counts
+// decomp.incremental_hits; a successful splice counts
+// decomp.incremental_splices; a fallback to full recompute (first sighting
+// excluded) counts decomp.incremental_fallbacks. The splice path runs the
+// oracle over a sub-layout, so the decomp.* work counters differ from an
+// uncached run — equivalence tests zero the decomp.* family, exactly as
+// they already do for the memo cache.
+//
+// Like the Engine and the Cache, an Incremental is single-goroutine state;
+// methods are nil-safe and a nil *Incremental degrades to the plain
+// oracle. Results it returns are shared and immutable like cached ones.
+type Incremental struct {
+	// Paranoid re-runs the full oracle after every splice and records the
+	// first divergence for Check. The spliced result is still returned, so
+	// behavior is identical with Paranoid on or off. Debug/test facility.
+	Paranoid bool
+
+	cache *Cache  // optional shared memo for full and sub-layout runs
+	eng   *Engine // private oracle: cacheless runs and Paranoid checks
+	blobs dsu     // blob-count scratch
+
+	prev    *Result
+	prevLy  Layout // deep copy; callers may reuse their backing arrays
+	prevKey []byte
+	key     []byte // canonical-key scratch
+	order   []int
+	err     error // first Paranoid divergence
+}
+
+// NewIncremental returns an incremental decomposer layered on cache (which
+// may be nil: full and sub-layout recomputes then use a private engine).
+func NewIncremental(cache *Cache) *Incremental {
+	return &Incremental{cache: cache, eng: &Engine{}}
+}
+
+// DecomposeCut returns the decomposition of ly, reusing as much of the
+// previous call's verdict as the dirty region allows. A nil receiver is
+// the uncached oracle.
+func (inc *Incremental) DecomposeCut(ly Layout, rec *obs.Recorder) *Result {
+	if inc == nil {
+		return DecomposeCutR(ly, rec)
+	}
+	inc.key, inc.order = layoutKey(inc.key[:0], inc.order[:0], ly)
+	if inc.prev != nil && bytesEqual(inc.key, inc.prevKey) {
+		rec.Inc(obs.CtrDecompIncHits)
+		return inc.prev
+	}
+	var res *Result
+	if inc.prev != nil {
+		if res = inc.trySplice(ly, rec); res != nil {
+			rec.Inc(obs.CtrDecompIncSplices)
+			if inc.Paranoid && inc.err == nil {
+				inc.err = compareResults(res, inc.eng.DecomposeCut(ly, nil))
+			}
+		} else {
+			rec.Inc(obs.CtrDecompIncFallbacks)
+		}
+	}
+	if res == nil {
+		res = inc.full(ly, rec)
+	}
+	inc.remember(ly, res)
+	return res
+}
+
+// Check reports the first Paranoid-mode divergence between a spliced
+// result and its full recompute. Nil on a nil receiver, with Paranoid
+// unset, or when every splice matched.
+func (inc *Incremental) Check() error {
+	if inc == nil {
+		return nil
+	}
+	return inc.err
+}
+
+// full runs the whole-layout oracle, through the shared cache when one is
+// attached.
+func (inc *Incremental) full(ly Layout, rec *obs.Recorder) *Result {
+	if inc.cache != nil {
+		return inc.cache.DecomposeCut(ly, rec)
+	}
+	return inc.eng.DecomposeCut(ly, rec)
+}
+
+// remember stores ly (deep-copied) and res as the baseline for the next
+// call. inc.key must still hold ly's canonical key.
+func (inc *Incremental) remember(ly Layout, res *Result) {
+	pats := make([]Pattern, len(ly.Pats))
+	for i, p := range ly.Pats {
+		pats[i] = Pattern{Net: p.Net, Color: p.Color, Rects: append([]geom.Rect(nil), p.Rects...)}
+	}
+	inc.prevLy = Layout{Rules: ly.Rules, Die: ly.Die, Pats: pats, NaiveAssists: ly.NaiveAssists}
+	inc.prevKey = append(inc.prevKey[:0], inc.key...)
+	inc.prev = res
+}
+
+// trySplice attempts the incremental path against the stored baseline and
+// returns the spliced Result, or nil when only a full recompute is sound
+// (configuration changed, a verdict carries violations, the dirty region
+// swallowed the layer, or the seam check failed).
+func (inc *Incremental) trySplice(ly Layout, rec *obs.Recorder) *Result {
+	prev, prevLy := inc.prev, &inc.prevLy
+	if ly.Rules != prevLy.Rules || ly.Die != prevLy.Die || ly.NaiveAssists != prevLy.NaiveAssists {
+		return nil
+	}
+	// Violations poison the splice: BadNets and violation strings cannot be
+	// regionalized (a violation names nets from both sides of any cut).
+	if len(prev.Violations) > 0 || len(prev.BadNets) > 0 {
+		return nil
+	}
+	prevByNet := make(map[int]int, len(prevLy.Pats))
+	for i, p := range prevLy.Pats {
+		if _, dup := prevByNet[p.Net]; dup {
+			return nil
+		}
+		prevByNet[p.Net] = i
+	}
+	newByNet := make(map[int]int, len(ly.Pats))
+	for i, p := range ly.Pats {
+		if _, dup := newByNet[p.Net]; dup {
+			return nil
+		}
+		newByNet[p.Net] = i
+	}
+
+	changed := make(map[int]bool)
+	for net, pi := range prevByNet {
+		ni, ok := newByNet[net]
+		if !ok || !samePattern(&prevLy.Pats[pi], &ly.Pats[ni]) {
+			changed[net] = true
+		}
+	}
+	for net := range newByNet {
+		if _, ok := prevByNet[net]; !ok {
+			changed[net] = true
+		}
+	}
+	if len(changed) == 0 {
+		// Canonical keys differ yet content matches: unreachable, but a
+		// full recompute is always a safe answer.
+		return nil
+	}
+
+	ds := ly.Rules
+	dsep := ds.WSpacer + ds.WCore + ds.DCore + ds.DCut + 2
+	reach := dsep + ds.WSpacer + 2*ds.WCore + ds.DCore
+
+	// Grow the affected-net set A to a fixpoint: the region is every piece
+	// of A geometry (old rects, new rects, previously owned materials)
+	// dilated by reach; any new pattern or previous material intersecting
+	// it joins. Bridges are ownerless — an intersecting bridge is marked
+	// affected and its own dilation pulls its parent materials in, so no
+	// bridge ever straddles the seam.
+	prevMats := prev.Materials
+	matAffected := make([]bool, len(prevMats))
+	inA := make(map[int]bool)
+	var region []geom.Rect
+	addRect := func(r geom.Rect) {
+		if !r.Empty() {
+			region = append(region, r.Expand(reach))
+		}
+	}
+	addNet := func(net int) {
+		if inA[net] {
+			return
+		}
+		inA[net] = true
+		if ni, ok := newByNet[net]; ok {
+			for _, r := range ly.Pats[ni].Rects {
+				addRect(r)
+			}
+		}
+		if pi, ok := prevByNet[net]; ok {
+			for _, r := range prevLy.Pats[pi].Rects {
+				addRect(r)
+			}
+			for mi := range prevMats {
+				if prevMats[mi].Pat == pi {
+					matAffected[mi] = true
+					addRect(prevMats[mi].Rect)
+				}
+			}
+		}
+	}
+	seeds := make([]int, 0, len(changed))
+	for net := range changed {
+		seeds = append(seeds, net)
+	}
+	sort.Ints(seeds)
+	for _, net := range seeds {
+		addNet(net)
+	}
+	intersectsRegion := func(r geom.Rect) bool {
+		for _, q := range region {
+			if r.Intersects(q) {
+				return true
+			}
+		}
+		return false
+	}
+	for grew := true; grew; {
+		grew = false
+		for i := range ly.Pats {
+			p := &ly.Pats[i]
+			if inA[p.Net] {
+				continue
+			}
+			for _, r := range p.Rects {
+				if intersectsRegion(r) {
+					addNet(p.Net)
+					grew = true
+					break
+				}
+			}
+		}
+		for mi := range prevMats {
+			m := &prevMats[mi]
+			if matAffected[mi] || !intersectsRegion(m.Rect) {
+				continue
+			}
+			if m.Pat >= 0 {
+				addNet(prevLy.Pats[m.Pat].Net)
+			} else {
+				matAffected[mi] = true
+				addRect(m.Rect)
+			}
+			grew = true
+		}
+	}
+
+	subIdx := make([]int, 0, len(ly.Pats))
+	for i, p := range ly.Pats {
+		if inA[p.Net] {
+			subIdx = append(subIdx, i)
+		}
+	}
+	if len(subIdx) == len(ly.Pats) {
+		return nil // the dirty region swallowed the whole layer
+	}
+	// Unaffected nets must keep their relative order: target indices follow
+	// pattern order, and tie-breaks in assist shaping follow target order.
+	// Router layouts enumerate nets in a fixed order, so this never fires
+	// there; it guards direct callers.
+	pseq := make([]int, 0, len(prevLy.Pats))
+	for _, p := range prevLy.Pats {
+		if !inA[p.Net] {
+			pseq = append(pseq, p.Net)
+		}
+	}
+	nseq := make([]int, 0, len(ly.Pats))
+	for _, p := range ly.Pats {
+		if !inA[p.Net] {
+			nseq = append(nseq, p.Net)
+		}
+	}
+	if len(pseq) != len(nseq) {
+		return nil
+	}
+	for i := range pseq {
+		if pseq[i] != nseq[i] {
+			return nil
+		}
+	}
+
+	// Decompose the affected sub-layout; its canonical key is the delta key
+	// when a shared cache is attached.
+	sub := Layout{Rules: ds, Die: ly.Die, NaiveAssists: ly.NaiveAssists,
+		Pats: make([]Pattern, 0, len(subIdx))}
+	for _, i := range subIdx {
+		sub.Pats = append(sub.Pats, ly.Pats[i])
+	}
+	subRes := inc.full(sub, rec)
+	if len(subRes.Violations) > 0 || len(subRes.BadNets) > 0 {
+		return nil
+	}
+
+	// Seam check: everything the re-decomposed side produced or contains
+	// must clear d_sep against everything kept. The closure guarantees this
+	// by construction; the check is cheap insurance that turns a closure
+	// bug into a fallback instead of a wrong verdict.
+	var aSide, uSide []geom.Rect
+	for _, m := range subRes.Materials {
+		aSide = append(aSide, m.Rect)
+	}
+	for _, i := range subIdx {
+		aSide = append(aSide, ly.Pats[i].Rects...)
+	}
+	for mi := range prevMats {
+		if !matAffected[mi] {
+			uSide = append(uSide, prevMats[mi].Rect)
+		}
+	}
+	for i := range ly.Pats {
+		if !inA[ly.Pats[i].Net] {
+			uSide = append(uSide, ly.Pats[i].Rects...)
+		}
+	}
+	var abb geom.Rect
+	for i, a := range aSide {
+		if i == 0 {
+			abb = a
+		} else {
+			abb = abb.Union(a)
+		}
+	}
+	abb = abb.Expand(dsep)
+	for _, u := range uSide {
+		if !u.Intersects(abb) {
+			continue
+		}
+		for _, a := range aSide {
+			if u.Intersects(a.Expand(dsep)) {
+				return nil // seam narrower than d_sep
+			}
+		}
+	}
+
+	// Splice. Overlays and conflicts are emitted pattern-major by the
+	// oracle, so reassembling them per new pattern — sub slices for
+	// affected nets, previous slices for the rest, Pat remapped — yields
+	// exactly the full-run order.
+	subPos := make(map[int]int, len(subIdx))
+	for j, i := range subIdx {
+		subPos[i] = j
+	}
+	prevOv := groupStarts(len(prevLy.Pats), len(prev.Overlays), func(k int) int { return prev.Overlays[k].Pat })
+	subOv := groupStarts(len(sub.Pats), len(subRes.Overlays), func(k int) int { return subRes.Overlays[k].Pat })
+	prevCf := groupStarts(len(prevLy.Pats), len(prev.Conflicts), func(k int) int { return prev.Conflicts[k].Pat })
+	subCf := groupStarts(len(sub.Pats), len(subRes.Conflicts), func(k int) int { return subRes.Conflicts[k].Pat })
+	if prevOv == nil || subOv == nil || prevCf == nil || subCf == nil {
+		return nil
+	}
+	res := &Result{}
+	for pi := range ly.Pats {
+		net := ly.Pats[pi].Net
+		if sp, ok := subPos[pi]; ok {
+			for k := subOv[sp]; k < subOv[sp+1]; k++ {
+				o := subRes.Overlays[k]
+				o.Pat = pi
+				res.Overlays = append(res.Overlays, o)
+			}
+			for k := subCf[sp]; k < subCf[sp+1]; k++ {
+				c := subRes.Conflicts[k]
+				c.Pat = pi
+				res.Conflicts = append(res.Conflicts, c)
+			}
+		} else {
+			pp := prevByNet[net]
+			for k := prevOv[pp]; k < prevOv[pp+1]; k++ {
+				o := prev.Overlays[k]
+				o.Pat = pi
+				res.Overlays = append(res.Overlays, o)
+			}
+			for k := prevCf[pp]; k < prevCf[pp+1]; k++ {
+				c := prev.Conflicts[k]
+				c.Pat = pi
+				res.Conflicts = append(res.Conflicts, c)
+			}
+		}
+	}
+	// Aggregates are recomputed from the spliced overlays with the exact
+	// formulas the oracle uses, so they match a full run bit-for-bit.
+	for _, o := range res.Overlays {
+		if o.Tip {
+			res.TipOverlayNM += o.Len()
+		} else {
+			res.SideOverlayNM += o.Len()
+		}
+		if o.Hard {
+			res.HardOverlays++
+		}
+	}
+	res.SideOverlayUnits = float64(res.SideOverlayNM) / float64(ds.WLine) //lint:allow float reporting-only: same fractional w_line units as the oracle
+
+	// Materials in canonical order: cores then assists, pattern-major in
+	// the new order, then bridges sorted by rect. Bridge emission order in
+	// a full run depends on merge-iteration interleaving that a splice
+	// cannot reproduce, so both sides of any comparison canonicalize
+	// (compareResults does the same to the full recompute).
+	appendKind := func(kind MatKind) {
+		for pi := range ly.Pats {
+			if sp, ok := subPos[pi]; ok {
+				for mi := range subRes.Materials {
+					if m := &subRes.Materials[mi]; m.Kind == kind && m.Pat == sp {
+						res.Materials = append(res.Materials, Mat{Kind: kind, Pat: pi, Rect: m.Rect})
+					}
+				}
+			} else {
+				pp := prevByNet[ly.Pats[pi].Net]
+				for mi := range prevMats {
+					if m := &prevMats[mi]; m.Kind == kind && m.Pat == pp {
+						res.Materials = append(res.Materials, Mat{Kind: kind, Pat: pi, Rect: m.Rect})
+					}
+				}
+			}
+		}
+	}
+	appendKind(MatCoreTarget)
+	appendKind(MatAssist)
+	nb := len(res.Materials)
+	for mi := range prevMats {
+		if m := &prevMats[mi]; m.Kind == MatBridge && !matAffected[mi] {
+			res.Materials = append(res.Materials, *m)
+		}
+	}
+	for mi := range subRes.Materials {
+		if m := &subRes.Materials[mi]; m.Kind == MatBridge {
+			res.Materials = append(res.Materials, *m)
+		}
+	}
+	sortBridges(res.Materials[nb:])
+
+	// Blob count: the seam separates the sides by more than d_core, so no
+	// mask blob straddles it and the counts add.
+	var affected []geom.Rect
+	for mi := range prevMats {
+		if matAffected[mi] {
+			affected = append(affected, prevMats[mi].Rect)
+		}
+	}
+	res.Blobs = prev.Blobs - blobCount(&inc.blobs, affected) + subRes.Blobs
+	return res
+}
+
+// samePattern reports content equality (color and rects; net ids already
+// matched by construction).
+func samePattern(a, b *Pattern) bool {
+	if a.Color != b.Color || len(a.Rects) != len(b.Rects) {
+		return false
+	}
+	for i := range a.Rects {
+		if a.Rects[i] != b.Rects[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// groupStarts returns starts such that starts[p]..starts[p+1] is the index
+// range of pattern p's entries, or nil if the entries are not sorted by
+// pattern (then they cannot be spliced per pattern).
+func groupStarts(nPats, n int, pat func(int) int) []int {
+	starts := make([]int, nPats+1)
+	cur := -1
+	for k := 0; k < n; k++ {
+		p := pat(k)
+		if p < cur || p < 0 || p >= nPats {
+			return nil
+		}
+		for cur < p {
+			cur++
+			starts[cur] = k
+		}
+	}
+	for cur < nPats {
+		cur++
+		starts[cur] = n
+	}
+	return starts
+}
+
+// sortBridges orders bridge materials by rectangle, stably — the canonical
+// bridge order shared by splices and compareResults.
+func sortBridges(ms []Mat) {
+	sort.SliceStable(ms, func(i, j int) bool {
+		a, b := ms[i].Rect, ms[j].Rect
+		if a.X0 != b.X0 {
+			return a.X0 < b.X0
+		}
+		if a.Y0 != b.Y0 {
+			return a.Y0 < b.Y0
+		}
+		if a.X1 != b.X1 {
+			return a.X1 < b.X1
+		}
+		return a.Y1 < b.Y1
+	})
+}
+
+// blobCount counts connected components among rects under the same
+// touch-or-overlap criterion the oracle's merge loop uses.
+func blobCount(d *dsu, rs []geom.Rect) int {
+	d.reset(len(rs))
+	for i := 0; i < len(rs); i++ {
+		for j := i + 1; j < len(rs); j++ {
+			if _, disjoint := gapLinf(rs[i], rs[j]); !disjoint {
+				d.union(i, j)
+			}
+		}
+	}
+	n := 0
+	for i := range rs {
+		if d.find(i) == i {
+			n++
+		}
+	}
+	return n
+}
+
+// canonMaterials rewrites a material list into canonical order: cores in
+// stored order, assists in stored order, bridges sorted by rect. Full-run
+// results already store cores and assists pattern-major, so only bridges
+// move.
+func canonMaterials(ms []Mat) []Mat {
+	out := make([]Mat, 0, len(ms))
+	for _, m := range ms {
+		if m.Kind == MatCoreTarget {
+			out = append(out, m)
+		}
+	}
+	for _, m := range ms {
+		if m.Kind == MatAssist {
+			out = append(out, m)
+		}
+	}
+	nb := len(out)
+	for _, m := range ms {
+		if m.Kind == MatBridge {
+			out = append(out, m)
+		}
+	}
+	sortBridges(out[nb:])
+	return out
+}
+
+// compareResults reports the first difference between a spliced result and
+// a full recompute, with materials canonicalized on both sides. Nil when
+// they agree.
+func compareResults(got, want *Result) error {
+	if got.SideOverlayNM != want.SideOverlayNM || got.TipOverlayNM != want.TipOverlayNM ||
+		got.HardOverlays != want.HardOverlays || got.SideOverlayUnits != want.SideOverlayUnits {
+		return fmt.Errorf("incremental splice aggregates diverge: got side=%d tip=%d hard=%d, want side=%d tip=%d hard=%d",
+			got.SideOverlayNM, got.TipOverlayNM, got.HardOverlays,
+			want.SideOverlayNM, want.TipOverlayNM, want.HardOverlays)
+	}
+	if got.Blobs != want.Blobs {
+		return fmt.Errorf("incremental splice blob count diverges: got %d want %d", got.Blobs, want.Blobs)
+	}
+	if !reflect.DeepEqual(got.Overlays, want.Overlays) {
+		return fmt.Errorf("incremental splice overlays diverge (%d vs %d entries)", len(got.Overlays), len(want.Overlays))
+	}
+	if !reflect.DeepEqual(got.Conflicts, want.Conflicts) {
+		return fmt.Errorf("incremental splice conflicts diverge (%d vs %d entries)", len(got.Conflicts), len(want.Conflicts))
+	}
+	if !reflect.DeepEqual(got.Violations, want.Violations) || !reflect.DeepEqual(got.BadNets, want.BadNets) {
+		return fmt.Errorf("incremental splice violations diverge (%d vs %d)", len(got.Violations), len(want.Violations))
+	}
+	if !reflect.DeepEqual(canonMaterials(got.Materials), canonMaterials(want.Materials)) {
+		return fmt.Errorf("incremental splice materials diverge (%d vs %d entries)", len(got.Materials), len(want.Materials))
+	}
+	return nil
+}

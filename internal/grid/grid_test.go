@@ -70,3 +70,27 @@ func TestInBounds(t *testing.T) {
 		t.Error("corner cell must be in bounds")
 	}
 }
+
+func TestCloneIsIndependent(t *testing.T) {
+	g := New(8, 8, 2, rules.Node10nm())
+	g.Occupy(Cell{X: 1, Y: 1, L: 0}, 5)
+	g.Block(1, geom.Rect{X0: 2, Y0: 2, X1: 4, Y1: 4})
+
+	cp := g.Clone()
+	if cp.At(Cell{X: 1, Y: 1, L: 0}) != 5 || cp.At(Cell{X: 3, Y: 3, L: 1}) != Blocked {
+		t.Fatal("clone lost occupancy or blockage")
+	}
+	// Mutating the clone must leave the original untouched, and vice versa.
+	cp.Occupy(Cell{X: 6, Y: 6, L: 0}, 9)
+	cp.Release(Cell{X: 1, Y: 1, L: 0})
+	if g.At(Cell{X: 6, Y: 6, L: 0}) != Free || g.At(Cell{X: 1, Y: 1, L: 0}) != 5 {
+		t.Fatal("clone mutation leaked into the original")
+	}
+	g.Occupy(Cell{X: 7, Y: 0, L: 1}, 3)
+	if cp.At(Cell{X: 7, Y: 0, L: 1}) != Free {
+		t.Fatal("original mutation leaked into the clone")
+	}
+	if g.Stat().BlockedCells != cp.Stat().BlockedCells {
+		t.Fatal("blockage stats diverged")
+	}
+}

@@ -88,6 +88,24 @@ const (
 	CtrSchedSpecSearches
 	CtrSchedSpecHits
 	CtrSchedSpecRetries
+	// Incremental dirty-region decomposition (internal/decomp.Incremental,
+	// router.Options.IncrementalDecomp). Like the cache counters these are
+	// configuration-dependent: equivalence tests zero the decomp.* family.
+	// A hit returns the previous layer Result untouched; a splice re-derives
+	// only the dirty region and splices it into the previous Result; a
+	// fallback is a full recompute (first sighting of a layer is not
+	// counted — only an abandoned incremental attempt is).
+	CtrDecompIncHits
+	CtrDecompIncSplices
+	CtrDecompIncFallbacks
+	// Speculative rip-up pre-search (internal/router episode speculation,
+	// router.Options.RipupSpec). Exists only in NetWorkers >= 2 runs with
+	// the lever on; equivalence tests zero the ripup.* family (the bench
+	// ledger routes it beside sched.* in the nondeterministic section).
+	// spec_adopted + spec_wasted == spec_searches at the end of a run.
+	CtrRipupSpecSearches
+	CtrRipupSpecAdopted
+	CtrRipupSpecWasted
 
 	numCounters
 )
@@ -125,6 +143,12 @@ var counterNames = [numCounters]string{
 	CtrSchedSpecSearches:    "sched.spec_searches",
 	CtrSchedSpecHits:        "sched.spec_hits",
 	CtrSchedSpecRetries:     "sched.spec_retries",
+	CtrDecompIncHits:        "decomp.incremental_hits",
+	CtrDecompIncSplices:     "decomp.incremental_splices",
+	CtrDecompIncFallbacks:   "decomp.incremental_fallbacks",
+	CtrRipupSpecSearches:    "ripup.spec_searches",
+	CtrRipupSpecAdopted:     "ripup.spec_adopted",
+	CtrRipupSpecWasted:      "ripup.spec_wasted",
 }
 
 func (c CounterID) String() string {
@@ -177,21 +201,29 @@ const (
 	StageSpeculate
 	StageSpecSerial
 	StageSpecMakespan
+	// Speculative rip-up pre-search (router.Options.RipupSpec).
+	// StageRipupSerial sums the durations of the episode pre-searches;
+	// StageRipupMakespan is their LPT-scheduled makespan across NetWorkers
+	// engines — the same critical-path convention as the StageSpec* pair.
+	StageRipupSerial
+	StageRipupMakespan
 
 	numStages
 )
 
 var stageNames = [numStages]string{
-	StageRoute:        "route",
-	StageWindowCheck:  "window_check",
-	StageColorFlip:    "color_flip",
-	StageFinalRepair:  "final_repair",
-	StageDecompose:    "decompose",
-	StageEvaluate:     "evaluate",
-	StageTotal:        "total",
-	StageSpeculate:    "speculate",
-	StageSpecSerial:   "spec_serial",
-	StageSpecMakespan: "spec_makespan",
+	StageRoute:         "route",
+	StageWindowCheck:   "window_check",
+	StageColorFlip:     "color_flip",
+	StageFinalRepair:   "final_repair",
+	StageDecompose:     "decompose",
+	StageEvaluate:      "evaluate",
+	StageTotal:         "total",
+	StageSpeculate:     "speculate",
+	StageSpecSerial:    "spec_serial",
+	StageSpecMakespan:  "spec_makespan",
+	StageRipupSerial:   "ripup_serial",
+	StageRipupMakespan: "ripup_makespan",
 }
 
 func (s StageID) String() string {

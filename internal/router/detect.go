@@ -168,6 +168,19 @@ func (st *state) decompLayer(l int, ly decomp.Layout) *decomp.Result {
 	return st.caches[l].DecomposeCut(ly, st.rec)
 }
 
+// decompFullLayer is decompLayer for the FULL per-layer layouts of the
+// repair loop: with Options.IncrementalDecomp the layer's incremental
+// engine splices the re-derived dirty-region verdict into the previous
+// full decomposition instead of recomputing the whole layer per pass.
+// Window layouts keep going through decompLayer — they are small, and
+// consecutive windows share no edit structure to splice over.
+func (st *state) decompFullLayer(l int, ly decomp.Layout) *decomp.Result {
+	if st.incs != nil {
+		return st.incs[l].DecomposeCut(ly, st.rec)
+	}
+	return st.decompLayer(l, ly)
+}
+
 // windowBadness scores a window decomposition by its forbidden artifacts:
 // cut conflicts, violations and hard overlays.
 func windowBadness(r *decomp.Result) int {
@@ -238,11 +251,22 @@ func (st *state) repairConflicts() {
 		if len(offenders) == 0 {
 			return
 		}
+		ep := st.beginRepairEpisode(offenders)
 		for _, id := range offenders {
 			if _, routed := st.res.Paths[id]; !routed {
 				continue
 			}
 			path := st.res.Paths[id]
+			// When the episode's frozen clone pre-applied this rip-up and
+			// its penalty bumps, they are PREDICTED mutations: every
+			// pre-search already saw them, so they must not land in the
+			// episode's dirty set. Everything else routeNet does below —
+			// commits, blocker rips, window penalties — is unpredicted and
+			// marks st.dirty (= ep.dirty) as usual.
+			predicted := ep.hasSlot(id)
+			if predicted {
+				st.dirty = nil
+			}
 			st.ripup(id)
 			st.res.Routed--
 			st.rec.Inc(obs.CtrRepairRips)
@@ -253,8 +277,12 @@ func (st *state) repairConflicts() {
 			for _, c := range path {
 				st.pen[c] += 6 * st.opt.Alpha
 			}
+			if predicted {
+				st.dirty = ep.dirty
+			}
 			st.routeNet(id)
 		}
+		st.endEpisode(ep)
 	}
 	// Terminal guarantee: if anything still conflicts after the repair
 	// budget, drop the offenders outright — the paper's router guarantees
@@ -279,7 +307,7 @@ func (st *state) repairConflicts() {
 func (st *state) offenders() []int {
 	bad := map[int]bool{}
 	for l, ly := range st.res.Layouts() {
-		res := st.decompLayer(l, ly)
+		res := st.decompFullLayer(l, ly)
 		for _, cf := range res.Conflicts {
 			bad[ly.Pats[cf.Pat].Net] = true
 		}

@@ -1,0 +1,91 @@
+package router_test
+
+import (
+	"reflect"
+	"testing"
+
+	"sadproute/internal/bench"
+	"sadproute/internal/obs"
+	"sadproute/internal/router"
+	"sadproute/internal/rules"
+)
+
+// routeWith routes the given instance with the rip-up accelerations set
+// as requested and returns the result plus the final counter snapshot.
+func routeWith(t *testing.T, sp bench.Spec, inc, spec bool, workers int) (*router.Result, obs.Snapshot) {
+	t.Helper()
+	nl := bench.Generate(sp)
+	opt := router.Defaults()
+	opt.IncrementalDecomp = inc
+	opt.RipupSpec = spec
+	opt.NetWorkers = workers
+	opt.DecompParanoid = true
+	rec := obs.New()
+	opt.Obs = rec
+	res := router.Route(nl, rules.Node10nm(), opt)
+	if err := res.DecompCacheCheck(); err != nil {
+		t.Fatalf("cache integrity (inc=%v spec=%v w=%d): %v", inc, spec, workers, err)
+	}
+	return res, rec.Snapshot()
+}
+
+// TestRipupAccelerationsMatchSerial proves, inside the router package,
+// that incremental decomposition and episode speculation leave the route
+// shape untouched: same paths, colors, and totals as the plain serial
+// run on a congested instance that exercises the repair loop.
+func TestRipupAccelerationsMatchSerial(t *testing.T) {
+	sp := smallSpec(150, 36, 2, 5)
+	base, _ := routeWith(t, sp, false, false, 1)
+	for _, c := range []struct {
+		name      string
+		inc, spec bool
+		workers   int
+	}{
+		{"incremental", true, false, 1},
+		{"speculative", false, true, 4},
+		{"combined", true, true, 4},
+	} {
+		res, snap := routeWith(t, sp, c.inc, c.spec, c.workers)
+		if res.Routed != base.Routed || res.Failed != base.Failed ||
+			res.WirelengthCells != base.WirelengthCells || res.Vias != base.Vias {
+			t.Errorf("%s: totals diverged: routed %d/%d failed %d/%d wl %d/%d vias %d/%d",
+				c.name, res.Routed, base.Routed, res.Failed, base.Failed,
+				res.WirelengthCells, base.WirelengthCells, res.Vias, base.Vias)
+		}
+		if !reflect.DeepEqual(res.Paths, base.Paths) {
+			t.Errorf("%s: paths diverged from serial", c.name)
+		}
+		if !reflect.DeepEqual(res.Colors, base.Colors) {
+			t.Errorf("%s: colors diverged from serial", c.name)
+		}
+		if c.spec {
+			s, a, w := snap.Counter(obs.CtrRipupSpecSearches),
+				snap.Counter(obs.CtrRipupSpecAdopted), snap.Counter(obs.CtrRipupSpecWasted)
+			if a+w != s {
+				t.Errorf("%s: spec counters inconsistent: %d adopted + %d wasted != %d searches", c.name, a, w, s)
+			}
+			t.Logf("%s: %d pre-searches, %d adopted, %d wasted", c.name, s, a, w)
+		}
+		if c.inc {
+			h, sl, f := snap.Counter(obs.CtrDecompIncHits),
+				snap.Counter(obs.CtrDecompIncSplices), snap.Counter(obs.CtrDecompIncFallbacks)
+			t.Logf("%s: %d incremental hits, %d splices, %d fallbacks", c.name, h, sl, f)
+		}
+	}
+}
+
+// TestRipupSpecNeedsWorkers checks the enablement guard: RipupSpec with
+// fewer than two net workers must stay serial and launch no episode
+// pre-searches.
+func TestRipupSpecNeedsWorkers(t *testing.T) {
+	sp := smallSpec(120, 40, 1, 7)
+	base, _ := routeWith(t, sp, false, false, 1)
+	res, snap := routeWith(t, sp, false, true, 1)
+	if snap.Counter(obs.CtrRipupSpecSearches) != 0 {
+		t.Errorf("spec with 1 worker launched %d pre-searches, want 0",
+			snap.Counter(obs.CtrRipupSpecSearches))
+	}
+	if !reflect.DeepEqual(res.Paths, base.Paths) {
+		t.Error("spec with 1 worker changed paths")
+	}
+}

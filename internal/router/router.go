@@ -76,6 +76,24 @@ type Options struct {
 	// the cells actually mutated since the wave froze and re-run serially
 	// at their canonical slot when stale. 0 or 1 routes serially.
 	NetWorkers int
+	// IncrementalDecomp routes full-layer oracle queries (repair-pass
+	// offender scans and the final-metrics evaluation) through an
+	// incremental engine (internal/decomp.Incremental): after a rip-up
+	// changes a few nets, only the dirty region is re-derived and spliced
+	// into the previous layer verdict. Output is byte-identical with the
+	// lever on or off; the decomp.* work counters differ (the oracle runs
+	// over sub-layouts), exactly as with DecompCache. Off by default.
+	IncrementalDecomp bool
+	// RipupSpec pre-searches the nets of the next rip-up episode (a repair
+	// pass's offender list, or the pending-reroute queue) on idle
+	// NetWorkers while the serial commit phase drains the episode, against
+	// a grid clone with the episode's predicted rip-ups applied. A
+	// pre-search substitutes for the serial search only when DirtySet
+	// validation proves the serial engine would have read the identical
+	// grid and penalty state, so paths, colors, counters and traces stay
+	// byte-identical to the serial run. Requires NetWorkers >= 2 to have
+	// any effect. Off by default.
+	RipupSpec bool
 	// DebugWindow logs each failed window-resolve attempt (net, layer,
 	// badness before/after, component size) through the observability
 	// recorder's debug writer (standard error unless redirected via
@@ -118,7 +136,8 @@ type Result struct {
 	Grid            *grid.Grid
 	frags           []*fragstore.Store
 	nl              *netlist.Netlist
-	caches          []*decomp.Cache // per-layer memo, nil when routed uncached
+	caches          []*decomp.Cache       // per-layer memo, nil when routed uncached
+	incs            []*decomp.Incremental // per-layer incremental engines (Options.IncrementalDecomp)
 }
 
 // Routability returns the fraction of nets routed, in percent.
@@ -164,6 +183,18 @@ func (r *Result) Layouts() []decomp.Layout {
 // already paid for. A nil rec disables counter reporting.
 func (r *Result) DecomposeLayersR(rec *obs.Recorder) ([]*decomp.Result, decomp.Totals) {
 	layouts := r.Layouts()
+	if r.incs != nil {
+		// Incremental runs prefer the splice path: the repair passes left
+		// each layer's baseline behind, so an unchanged layer is a hit and
+		// a late edit re-derives only its dirty region.
+		out := make([]*decomp.Result, len(layouts))
+		var tot decomp.Totals
+		for l, ly := range layouts {
+			out[l] = r.incs[l].DecomposeCut(ly, rec)
+			tot.Accumulate(out[l])
+		}
+		return out, tot
+	}
 	if r.caches == nil {
 		return decomp.DecomposeLayersR(layouts, rec)
 	}
@@ -178,11 +209,18 @@ func (r *Result) DecomposeLayersR(rec *obs.Recorder) ([]*decomp.Result, decomp.T
 
 // DecompCacheCheck verifies the run's decomposition caches against the
 // deep copies retained under Options.DecompParanoid and reports the first
-// cached Result some caller mutated. Nil when consistent, when the run
-// was routed uncached, or when DecompParanoid was off.
+// cached Result some caller mutated — and, for incremental runs, the
+// first spliced verdict that diverged from its full recompute. Nil when
+// consistent, when the run was routed uncached, or when DecompParanoid
+// was off.
 func (r *Result) DecompCacheCheck() error {
 	for _, c := range r.caches {
 		if err := c.CheckIntegrity(); err != nil {
+			return err
+		}
+	}
+	for _, inc := range r.incs {
+		if err := inc.Check(); err != nil {
 			return err
 		}
 	}
@@ -201,6 +239,7 @@ type state struct {
 	locks  []map[int]decomp.Color // colors pinned by the cut-conflict check
 	pen    map[grid.Cell]int      // rip-up cost inflation
 	caches []*decomp.Cache        // per-layer decomposition memo (Options.DecompCache)
+	incs   []*decomp.Incremental  // per-layer incremental decomposition (Options.IncrementalDecomp)
 	opt    Options
 	res    *Result
 	rec    *obs.Recorder // nil-safe observability recorder
@@ -217,6 +256,10 @@ type state struct {
 	// Both are nil in serial runs; DirtySet methods are nil-safe.
 	dirty *sched.DirtySet
 	spec  map[int]*specResult
+	// ep is the live rip-up episode speculation (Options.RipupSpec with
+	// NetWorkers >= 2): pre-searches of the episode's predicted rip-ups
+	// running against a frozen grid clone. Nil outside an episode.
+	ep *episode
 	// winNets and winIDs are windowResolve's per-window net set and sorted
 	// id list, cleared and reused across windows instead of reallocated.
 	winNets map[int]bool
@@ -285,6 +328,17 @@ func RouteCtx(ctx context.Context, nl *netlist.Netlist, ds rules.Set, opt Option
 			st.caches[l].Paranoid = opt.DecompParanoid
 		}
 	}
+	if opt.IncrementalDecomp {
+		st.incs = make([]*decomp.Incremental, nl.Layers)
+		for l := range st.incs {
+			var c *decomp.Cache
+			if st.caches != nil {
+				c = st.caches[l]
+			}
+			st.incs[l] = decomp.NewIncremental(c)
+			st.incs[l].Paranoid = opt.DecompParanoid
+		}
+	}
 	st.res = &Result{
 		Paths:  make(map[int][]grid.Cell),
 		Colors: st.colors,
@@ -292,6 +346,7 @@ func RouteCtx(ctx context.Context, nl *netlist.Netlist, ds rules.Set, opt Option
 		frags:  st.frags,
 		nl:     nl,
 		caches: st.caches,
+		incs:   st.incs,
 	}
 
 	// Net ordering: shortest HPWL first (standard detailed-routing order).
@@ -315,7 +370,10 @@ func RouteCtx(ctx context.Context, nl *netlist.Netlist, ds rules.Set, opt Option
 			st.routeNet(id)
 		}
 	}
-	// Reroute nets that were ripped up to free resources.
+	// Reroute nets that were ripped up to free resources. With RipupSpec
+	// the queue is one episode: its nets are pre-searched on idle workers
+	// while the drain commits serially.
+	ep := st.beginPendingEpisode()
 	for len(st.pending) > 0 && !st.canceled() {
 		id := st.pending[0]
 		st.pending = st.pending[1:]
@@ -324,6 +382,7 @@ func RouteCtx(ctx context.Context, nl *netlist.Netlist, ds rules.Set, opt Option
 		}
 		st.routeNet(id)
 	}
+	st.endEpisode(ep)
 	stopRoute()
 
 	// Final full-layout color flipping (line 16 of Fig. 19). A cancelled
@@ -482,11 +541,14 @@ func (st *state) ripupBlocker(b, id int) {
 	st.pending = append(st.pending, b)
 }
 
-// search runs overlay-aware A* (eq. (5)). Under routeWaves a validated
-// speculative result — computed by a concurrent worker against the very
-// grid and penalty state this call would read — substitutes for the
-// search; the serial engine runs otherwise.
+// search runs overlay-aware A* (eq. (5)). Under routeWaves or a rip-up
+// episode a validated speculative result — computed by a concurrent
+// worker against the very grid and penalty state this call would read —
+// substitutes for the search; the serial engine runs otherwise.
 func (st *state) search(id int, n netlist.Net) ([]grid.Cell, bool) {
+	if sp, ok := st.takeEpisodeSpec(id); ok {
+		return sp.path, sp.ok
+	}
 	if sp, ok := st.takeSpec(id); ok {
 		return sp.path, sp.ok
 	}
@@ -500,6 +562,13 @@ func (st *state) search(id int, n netlist.Net) ([]grid.Cell, bool) {
 // by the serial path and the speculative workers so both price steps
 // identically.
 func (st *state) searchCfg(id int, n netlist.Net) astar.Config {
+	return st.searchCfgOn(st.g, st.pen, id, n)
+}
+
+// searchCfgOn is searchCfg against an explicit grid and penalty map: the
+// rip-up episode workers price their searches on the episode's frozen
+// clone while the serial engine keeps mutating the real state.
+func (st *state) searchCfgOn(g *grid.Grid, pen map[grid.Cell]int, id int, n netlist.Net) astar.Config {
 	pins := make(map[grid.Cell]bool, len(n.A.Candidates)+len(n.B.Candidates))
 	for _, c := range n.A.Candidates {
 		pins[c] = true
@@ -511,7 +580,7 @@ func (st *state) searchCfg(id int, n netlist.Net) astar.Config {
 		WL:        st.opt.Alpha,
 		Via:       st.opt.Beta,
 		MaxExpand: st.opt.MaxExpand,
-		Step:      st.stepCost(int32(id), pins),
+		Step:      st.stepCostOn(g, pen, int32(id), pins),
 	}
 }
 
@@ -571,9 +640,16 @@ func (st *state) findBlockers(id int, n netlist.Net) []int {
 // net means the path would either end tip-to-side against that net (a type
 // 2-b scenario with unavoidable overlay) or corner alongside it.
 func (st *state) stepCost(id int32, pins map[grid.Cell]bool) astar.StepCost {
-	g := st.g
+	return st.stepCostOn(st.g, st.pen, id, pins)
+}
+
+// stepCostOn is stepCost against an explicit grid and penalty map (see
+// searchCfgOn). Reads only immutable per-run configuration besides its
+// arguments, so episode workers can call the returned closure
+// concurrently with the serial engine.
+func (st *state) stepCostOn(g *grid.Grid, pen map[grid.Cell]int, id int32, pins map[grid.Cell]bool) astar.StepCost {
 	return func(from, to grid.Cell) (int, bool) {
-		extra := st.pen[to]
+		extra := pen[to]
 		if to.L != from.L && (pins[from] || pins[to]) {
 			// A via directly at a pin leaves a bare one-cell stub — the
 			// most conflict-prone SADP geometry (it can be flanked by cut

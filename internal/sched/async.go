@@ -1,0 +1,71 @@
+package sched
+
+import "sync"
+
+// Async tracks a Launch fleet: n index-addressed tasks running on a
+// bounded worker pool. Unlike Run, Launch returns immediately; the caller
+// overlaps its own serial work with the fleet and joins per index exactly
+// when it needs that task's result. The router's rip-up episode
+// speculation is the canonical user: the serial commit phase processes
+// offender k while workers pre-search offenders k+1, k+2, ... against a
+// frozen grid clone, and Wait(i) blocks only if the pre-search of the
+// offender now at the commit slot has not finished yet.
+type Async struct {
+	done []chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Launch starts fn(worker, i) for every i in [0, n) across at most
+// `workers` goroutines and returns without waiting. Work is handed out in
+// index order through a shared channel, so low indexes — the ones the
+// caller joins first — start first; which worker runs which index is
+// scheduler-dependent, so fn must write only to per-index state. A nil
+// return means n <= 0.
+func Launch(n, workers int, fn func(worker, i int)) *Async {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	a := &Async{done: make([]chan struct{}, n)}
+	for i := range a.done {
+		a.done[i] = make(chan struct{})
+	}
+	work := make(chan int, n)
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	a.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer a.wg.Done()
+			for i := range work {
+				fn(worker, i)
+				close(a.done[i])
+			}
+		}(w)
+	}
+	return a
+}
+
+// Wait blocks until task i has finished. Nil-safe no-op.
+func (a *Async) Wait(i int) {
+	if a == nil {
+		return
+	}
+	<-a.done[i]
+}
+
+// WaitAll blocks until every task has finished and the workers have
+// exited. Nil-safe no-op.
+func (a *Async) WaitAll() {
+	if a == nil {
+		return
+	}
+	a.wg.Wait()
+}

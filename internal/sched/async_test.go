@@ -1,0 +1,71 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestLaunchRunsAll: every index runs exactly once and WaitAll joins the
+// whole fleet, across worker counts below, at and above the task count.
+func TestLaunchRunsAll(t *testing.T) {
+	for _, workers := range []int{1, 3, 8, 100} {
+		const n = 37
+		var ran [n]int32
+		a := Launch(n, workers, func(_, i int) {
+			atomic.AddInt32(&ran[i], 1)
+		})
+		a.WaitAll()
+		for i, c := range ran {
+			if c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestLaunchWaitPerIndex: Wait(i) returns only after task i finished. A
+// single worker and a release channel serialize the fleet so the test can
+// prove Wait(0) does not require the later tasks to have run.
+func TestLaunchWaitPerIndex(t *testing.T) {
+	release := make(chan struct{})
+	var done [3]int32
+	a := Launch(3, 1, func(_, i int) {
+		if i > 0 {
+			<-release
+		}
+		atomic.StoreInt32(&done[i], 1)
+	})
+	// One worker hands indexes out in order: task 0 finishes without the
+	// release, tasks 1 and 2 block behind it.
+	a.Wait(0)
+	if atomic.LoadInt32(&done[0]) != 1 {
+		t.Fatal("Wait(0) returned before task 0 finished")
+	}
+	if atomic.LoadInt32(&done[1]) != 0 || atomic.LoadInt32(&done[2]) != 0 {
+		t.Fatal("later tasks ran before being released; the single worker should still be blocked")
+	}
+	close(release)
+	a.Wait(2)
+	if atomic.LoadInt32(&done[1]) != 1 || atomic.LoadInt32(&done[2]) != 1 {
+		t.Fatal("Wait(2) returned before the released tasks finished")
+	}
+	a.WaitAll()
+}
+
+// TestLaunchNilAndBounds: n <= 0 yields a nil fleet whose joins are
+// no-ops, and absurd worker counts are clamped rather than crashing.
+func TestLaunchNilAndBounds(t *testing.T) {
+	if a := Launch(0, 4, func(_, _ int) { t.Error("ran a task of an empty fleet") }); a != nil {
+		t.Fatal("Launch(0, ...) returned a non-nil fleet")
+	}
+	var nilA *Async
+	nilA.Wait(0) // must not panic
+	nilA.WaitAll()
+
+	var ran int32
+	a := Launch(2, -5, func(_, i int) { atomic.AddInt32(&ran, 1) })
+	a.WaitAll()
+	if ran != 2 {
+		t.Fatalf("clamped fleet ran %d of 2 tasks", ran)
+	}
+}

@@ -1,0 +1,277 @@
+package sadp
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sadproute/internal/grid"
+	"sadproute/internal/obs"
+)
+
+// ripupCfg is one cell of the rip-up equivalence matrix: the two new
+// acceleration paths (incremental dirty-region decomposition and rip-up
+// episode speculation) crossed with worker count and the decomposition
+// memo cache, because the incremental engine layers its delta keys on the
+// cache when both are enabled.
+type ripupCfg struct {
+	inc     bool
+	spec    bool
+	workers int
+	cache   bool
+}
+
+func (c ripupCfg) String() string {
+	return fmt.Sprintf("inc=%v spec=%v workers=%d cache=%v", c.inc, c.spec, c.workers, c.cache)
+}
+
+// ripupDump routes one spec under a matrix configuration and returns the
+// canonical run dump, the raw JSONL trace bytes, and the per-net
+// attribution table (see routeDump). The sched.*, decomp.* and ripup.*
+// families are zeroed — they describe how the work was executed (waves
+// formed, cache hits, splices, speculative adoptions), which legitimately
+// varies across the matrix; every other counter and every other byte must
+// match the baseline exactly.
+func ripupDump(t *testing.T, sp Spec, cfg ripupCfg) (string, string, []obs.NetStat) {
+	t.Helper()
+	nl := Generate(sp)
+	opt := Defaults()
+	opt.IncrementalDecomp = cfg.inc
+	opt.RipupSpec = cfg.spec
+	opt.NetWorkers = cfg.workers
+	opt.DecompCache = cfg.cache
+	opt.DecompParanoid = true
+	rec := NewRecorder()
+	var tr bytes.Buffer
+	rec.SetTrace(&tr)
+	opt.Obs = rec
+	res := Route(nl, Node10nm(), opt)
+	if err := rec.TraceErr(); err != nil {
+		t.Fatal(err)
+	}
+	// Paranoid mode re-ran the full oracle behind every incremental splice
+	// and deep-compared; surface the first divergence loudly.
+	if err := res.DecompCacheCheck(); err != nil {
+		t.Fatalf("%v: %v", cfg, err)
+	}
+	snap := rec.Snapshot()
+	snap.ZeroFamily("sched.")
+	snap.ZeroFamily("decomp.")
+	snap.ZeroFamily("ripup.")
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "routed=%d failed=%d wl=%d vias=%d\n",
+		res.Routed, res.Failed, res.WirelengthCells, res.Vias)
+	b.WriteString(snap.CountersString())
+	b.WriteString(obs.NetStatsString(rec.NetStats()))
+	fmt.Fprintf(&b, "paths=%v\n", res.Paths)
+	fmt.Fprintf(&b, "colors=%v\n", res.Colors)
+	layers, tot := Evaluate(res)
+	fmt.Fprintf(&b, "totals=%+v\n", tot)
+	for i, lr := range layers {
+		fmt.Fprintf(&b, "layer%d: so=%d tip=%d hard=%d conf=%d\n",
+			i, lr.SideOverlayNM, lr.TipOverlayNM, lr.HardOverlays, len(lr.Conflicts))
+	}
+	return b.String(), tr.String(), rec.NetStats()
+}
+
+// TestRipupEquivalenceMatrix is the PR's acceptance gate: every cell of
+// {incremental, speculation} x {workers 1, 4} x {cache on, off} produces
+// a byte-identical run — paths, colors, overlay totals, every counter
+// outside the three execution-strategy families, the per-net attribution
+// table (rip-up counts included, compared structurally as well as
+// textually), and the raw JSONL trace stream — to the plain serial
+// uncached baseline. CI runs this under -race, which also proves the
+// episode fleet and the serial commit phase share no unsynchronized
+// state.
+func TestRipupEquivalenceMatrix(t *testing.T) {
+	specs := intraparSpecs[:1]
+	if !testing.Short() {
+		specs = intraparSpecs[:2]
+	}
+	for _, sp := range specs {
+		t.Run(sp.Name, func(t *testing.T) {
+			want, wantTr, wantNS := ripupDump(t, sp, ripupCfg{workers: 1})
+			for _, inc := range []bool{false, true} {
+				for _, spec := range []bool{false, true} {
+					for _, workers := range []int{1, 4} {
+						for _, cache := range []bool{false, true} {
+							cfg := ripupCfg{inc: inc, spec: spec, workers: workers, cache: cache}
+							if cfg == (ripupCfg{workers: 1}) {
+								continue
+							}
+							got, gotTr, gotNS := ripupDump(t, sp, cfg)
+							if !reflect.DeepEqual(gotNS, wantNS) {
+								t.Fatalf("%v: per-net stats (attempts/rip-ups/fails) diverge from baseline", cfg)
+							}
+							if got != want {
+								t.Fatalf("%v diverges from serial baseline:\n--- baseline\n%s\n--- got\n%s", cfg, want, got)
+							}
+							if gotTr != wantTr {
+								i := 0
+								for i < len(wantTr) && i < len(gotTr) && wantTr[i] == gotTr[i] {
+									i++
+								}
+								lo := max(i-120, 0)
+								t.Fatalf("%v: trace diverges at byte %d:\n--- baseline\n...%s\n--- got\n...%s",
+									cfg, i, wantTr[lo:min(i+120, len(wantTr))], gotTr[lo:min(i+120, len(gotTr))])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRipupSpeculationEngages guards against the episode machinery
+// silently never running: across the suite with both accelerations on,
+// pre-searches must launch and some must survive validation, and the
+// adopted/wasted split must account for every launch exactly. Without
+// this, the matrix above could pass vacuously with the options inert.
+func TestRipupSpeculationEngages(t *testing.T) {
+	var searches, adopted, wasted int64
+	for _, sp := range intraparSpecs {
+		nl := Generate(sp)
+		opt := Defaults()
+		opt.IncrementalDecomp = true
+		opt.RipupSpec = true
+		opt.NetWorkers = 4
+		rec := NewRecorder()
+		opt.Obs = rec
+		Route(nl, Node10nm(), opt)
+		snap := rec.Snapshot()
+		searches += snap.Counter(obs.CtrRipupSpecSearches)
+		adopted += snap.Counter(obs.CtrRipupSpecAdopted)
+		wasted += snap.Counter(obs.CtrRipupSpecWasted)
+	}
+	if adopted+wasted != searches {
+		t.Fatalf("episode accounting broken: searches=%d adopted=%d wasted=%d", searches, adopted, wasted)
+	}
+	if searches == 0 {
+		t.Fatal("no rip-up episode ever launched a pre-search: the speculation path is degenerate")
+	}
+	if adopted == 0 {
+		t.Error("no episode pre-search was ever adopted: validation rejects everything")
+	}
+	t.Logf("episodes engaged: %d pre-searches, %d adopted, %d wasted", searches, adopted, wasted)
+}
+
+// TestIncrementalDecompEngages is the same vacuity guard for the
+// incremental engine: the repair loop and final metrics must score
+// unchanged-layout hits, and at least one genuine splice must happen
+// somewhere in the suite so the equivalence matrix actually covers the
+// splice path.
+func TestIncrementalDecompEngages(t *testing.T) {
+	var hits, splices, fallbacks int64
+	for _, sp := range intraparSpecs {
+		nl := Generate(sp)
+		opt := Defaults()
+		opt.IncrementalDecomp = true
+		opt.RipupSpec = true
+		opt.NetWorkers = 4
+		rec := NewRecorder()
+		opt.Obs = rec
+		res := Route(nl, Node10nm(), opt)
+		EvaluateR(res, rec)
+		snap := rec.Snapshot()
+		hits += snap.Counter(obs.CtrDecompIncHits)
+		splices += snap.Counter(obs.CtrDecompIncSplices)
+		fallbacks += snap.Counter(obs.CtrDecompIncFallbacks)
+	}
+	if hits == 0 {
+		t.Error("incremental engine never detected an unchanged layout")
+	}
+	if splices == 0 {
+		t.Error("incremental engine never spliced: every re-decomposition fell back to full recompute")
+	}
+	t.Logf("incremental engaged: %d hits, %d splices, %d fallbacks", hits, splices, fallbacks)
+}
+
+// FuzzRipupSpeculationCommit drives the full accelerated configuration —
+// episode speculation at four workers plus incremental decomposition
+// under Paranoid — with fuzzed benchmark shapes and checks the contract
+// from the outside: the result equals the plain serial run exactly, no
+// two nets share a committed cell, the per-net rip-up attribution is
+// identical, and the episode accounting balances.
+func FuzzRipupSpeculationCommit(f *testing.F) {
+	f.Add([]byte{40, 18, 7, 1, 5, 2, 4})
+	f.Add([]byte{90, 28, 11, 3, 6, 3, 8})
+	f.Add([]byte{23, 5, 200, 2, 2, 1, 9})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pos := 0
+		next := func() int {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return int(b)
+		}
+		sp := Spec{
+			Name:          "fuzz",
+			Nets:          1 + next()%30,
+			Tracks:        12 + next()%17,
+			Layers:        2 + next()%2,
+			Seed:          int64(next()),
+			PinCandidates: 1 + next()%3,
+			AvgHPWL:       3 + next()%5,
+			Blockages:     next() % 4,
+		}
+		nl := Generate(sp)
+		ds := Node10nm()
+
+		srec := NewRecorder()
+		sopt := Defaults()
+		sopt.Obs = srec
+		serial := Route(nl, ds, sopt)
+
+		opt := Defaults()
+		opt.IncrementalDecomp = true
+		opt.RipupSpec = true
+		opt.NetWorkers = 4
+		opt.DecompParanoid = true
+		rec := NewRecorder()
+		opt.Obs = rec
+		par := Route(nl, ds, opt)
+
+		if err := par.DecompCacheCheck(); err != nil {
+			t.Fatalf("incremental splice diverged from the full oracle: %v", err)
+		}
+		if par.Routed != serial.Routed || par.Failed != serial.Failed ||
+			par.WirelengthCells != serial.WirelengthCells || par.Vias != serial.Vias {
+			t.Fatalf("totals diverge: serial routed=%d failed=%d wl=%d vias=%d, accelerated routed=%d failed=%d wl=%d vias=%d",
+				serial.Routed, serial.Failed, serial.WirelengthCells, serial.Vias,
+				par.Routed, par.Failed, par.WirelengthCells, par.Vias)
+		}
+		if !reflect.DeepEqual(par.Paths, serial.Paths) {
+			t.Fatal("paths diverge from the serial commit order")
+		}
+		if !reflect.DeepEqual(par.Colors, serial.Colors) {
+			t.Fatal("colors diverge from the serial run")
+		}
+		if !reflect.DeepEqual(rec.NetStats(), srec.NetStats()) {
+			t.Fatal("per-net attribution (attempts/rip-ups/fails) diverges from the serial run")
+		}
+
+		owner := make(map[grid.Cell]int)
+		for id, path := range par.Paths {
+			for _, c := range path {
+				if prev, taken := owner[c]; taken && prev != id {
+					t.Fatalf("nets %d and %d both committed cell %+v", prev, id, c)
+				}
+				owner[c] = id
+			}
+		}
+
+		snap := rec.Snapshot()
+		searches := snap.Counter(obs.CtrRipupSpecSearches)
+		adopted := snap.Counter(obs.CtrRipupSpecAdopted)
+		wasted := snap.Counter(obs.CtrRipupSpecWasted)
+		if adopted+wasted != searches {
+			t.Fatalf("episode accounting inconsistent: searches=%d adopted=%d wasted=%d (%s)",
+				searches, adopted, wasted, fmt.Sprint(sp))
+		}
+	})
+}
