@@ -3,6 +3,14 @@
 //
 //	benchgen -nets 1500 -tracks 170 -seed 1 > test1.nl
 //	benchgen -paper -out bench/          # the Test1-10 analogue suite
+//	benchgen -huge -out bench/           # the large-die sparse-congestion family
+//
+// Determinism contract: the same seed and flags always produce a
+// byte-identical netlist, across runs, machines and releases. Generator
+// changes may only consume new random draws behind fields that default to
+// zero (see bench.Spec.MacroBlockages for the pattern), so every published
+// spec keeps reproducing the bytes it produced when it was published.
+// TestDeterminismContract pins this.
 package main
 
 import (
@@ -34,7 +42,8 @@ func run(args []string, stdout io.Writer) error {
 		cands  = fs.Int("cands", 1, "pin candidate locations per pin")
 		hpwl   = fs.Int("hpwl", 0, "mean net half-perimeter in tracks (0 = tracks/10)")
 		paper  = fs.Bool("paper", false, "emit the full Test1-10 analogue suite")
-		outDir = fs.String("out", ".", "output directory for -paper")
+		huge   = fs.Bool("huge", false, "emit the large-die sparse-congestion Huge1-3 family")
+		outDir = fs.String("out", ".", "output directory for -paper/-huge")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -43,22 +52,27 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	if *paper {
-		for _, fixed := range []bool{true, false} {
-			for _, sp := range sadp.PaperSpecs(fixed) {
-				nl := sadp.Generate(sp)
-				path := filepath.Join(*outDir, sp.Name+".nl")
-				f, err := os.Create(path)
-				if err != nil {
-					return err
-				}
-				if err := sadp.WriteNetlist(f, nl); err != nil {
-					f.Close()
-					return err
-				}
-				f.Close()
-				fmt.Fprintf(stdout, "wrote %s (%d nets, %d tracks)\n", path, sp.Nets, sp.Tracks)
+	if *paper || *huge {
+		var suite []sadp.Spec
+		if *paper {
+			suite = append(sadp.PaperSpecs(true), sadp.PaperSpecs(false)...)
+		}
+		if *huge {
+			suite = append(suite, sadp.HugeSpecs()...)
+		}
+		for _, sp := range suite {
+			nl := sadp.Generate(sp)
+			path := filepath.Join(*outDir, sp.Name+".nl")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
 			}
+			if err := sadp.WriteNetlist(f, nl); err != nil {
+				f.Close()
+				return err
+			}
+			f.Close()
+			fmt.Fprintf(stdout, "wrote %s (%d nets, %d tracks)\n", path, sp.Nets, sp.Tracks)
 		}
 		return nil
 	}

@@ -137,3 +137,38 @@ func TestRipupparExperiment(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSparsehugeExperiment runs the corridor-search experiment on the
+// smallest huge instance (tiny scale): both configs route, every sparse
+// run is DRC-checked inside the experiment, and the ledger carries both
+// the dense and the relabeled ours-sparse cells.
+func TestSparsehugeExperiment(t *testing.T) {
+	dir := t.TempDir()
+	ledger := filepath.Join(dir, "ledger.json")
+	var b strings.Builder
+	if err := run([]string{"-which", "sparsehuge", "-scale", "tiny", "-out", dir, "-bench-json", ledger}, &b); err != nil {
+		t.Fatalf("sparsehuge failed: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, w := range []string{"det Huge1  dense", "det Huge1  sparse", "fingerprint=", "route-x"} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("sparsehuge output missing %q:\n%s", w, out)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sparsehuge.txt")); err != nil {
+		t.Fatal(err)
+	}
+	l, err := bench.ReadLedger(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos := map[string]bool{}
+	for _, c := range l.Cells {
+		if c.Exp == "sparsehuge" {
+			algos[c.Algo] = true
+		}
+	}
+	if !algos["ours"] || !algos["ours-sparse"] {
+		t.Fatalf("ledger missing sparsehuge cells: %v", algos)
+	}
+}

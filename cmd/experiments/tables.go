@@ -23,6 +23,7 @@ type harness struct {
 	jobs       int
 	netWorkers int  // intra-instance: concurrent nets within one routing run
 	noCache    bool // route with the decomposition memo cache disabled
+	sparse     bool // route ours-cells with the corridor routing graph
 	budget     time.Duration
 	traceDir   string
 	ledger     *bench.Ledger // nil unless -bench-json; rows append per experiment
@@ -43,10 +44,11 @@ func (h harness) runCells(exp string, ds rules.Set, specs []bench.Spec, algos []
 		Jobs: h.jobs,
 		Cfg:  bench.RunConfig{Rules: ds, Budget: h.budget},
 	}
-	if h.netWorkers > 1 || h.noCache {
+	if h.netWorkers > 1 || h.noCache || h.sparse {
 		opt := router.Defaults()
 		opt.NetWorkers = h.netWorkers
 		opt.DecompCache = !h.noCache
+		opt.SparseSearch = h.sparse
 		bh.Cfg.RouterOptions = &opt
 	}
 	if h.traceDir != "" {

@@ -1,0 +1,85 @@
+package astar
+
+import (
+	"testing"
+
+	"sadproute/internal/geom"
+	"sadproute/internal/grid"
+	"sadproute/internal/rules"
+)
+
+func allocGrid() (*grid.Grid, Config, []grid.Cell, []grid.Cell) {
+	g := grid.New(64, 64, 3, rules.Node10nm())
+	g.Block(0, geom.Rect{X0: 20, Y0: 10, X1: 44, Y1: 14})
+	src := []grid.Cell{{X: 2, Y: 2, L: 0}}
+	tgt := []grid.Cell{{X: 60, Y: 58, L: 0}}
+	return g, Config{WL: 1, Via: 2}, src, tgt
+}
+
+// TestSearchAllocsSteadyState pins the engine's allocation discipline: a
+// warmed engine allocates only the returned path (its backtrace slice),
+// nothing per node and no closure captures. The bound is generous (the
+// backtrace slice grows by doubling) but fails if Search regresses to
+// per-call closure or map allocations.
+func TestSearchAllocsSteadyState(t *testing.T) {
+	g, cfg, src, tgt := allocGrid()
+	e := New(g)
+	if _, ok := e.Search(-1, src, tgt, cfg); !ok { // warm arrays and queue
+		t.Fatal("no path on warm-up")
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, ok := e.Search(-1, src, tgt, cfg); !ok {
+			t.Fatal("no path")
+		}
+	})
+	// Path backtrace: one slice, grown by doubling — ~8 allocs for a
+	// 120-cell path. Anything above 16 means a per-call regression.
+	if avg > 16 {
+		t.Fatalf("Search allocates %.1f objects/op in steady state (want <= 16: only the returned path)", avg)
+	}
+}
+
+// TestPoolRetainsQueueCapacity pins the Acquire/Release contract the
+// router's engine pooling relies on: the open-list backing array (and the
+// per-cell arrays) survive a pool round-trip, so the next binding's
+// searches start with warm capacity.
+func TestPoolRetainsQueueCapacity(t *testing.T) {
+	g, cfg, src, tgt := allocGrid()
+	e := Acquire(g)
+	if _, ok := e.Search(-1, src, tgt, cfg); !ok {
+		t.Fatal("no path")
+	}
+	qcap, dcap := cap(e.queue), cap(e.dist)
+	if qcap == 0 || dcap == 0 {
+		t.Fatal("search left no capacity to retain")
+	}
+	e.Release()
+	e2 := Acquire(g)
+	defer e2.Release()
+	if e2 != e {
+		t.Skip("pool returned a different engine; retention not observable this run")
+	}
+	if cap(e2.queue) < qcap {
+		t.Fatalf("queue capacity dropped across Release/Acquire: %d -> %d", qcap, cap(e2.queue))
+	}
+	if cap(e2.dist) < dcap {
+		t.Fatalf("per-cell capacity dropped across Release/Acquire: %d -> %d", dcap, cap(e2.dist))
+	}
+	if e2.cfg.Step != nil || e2.Rec != nil {
+		t.Fatal("Release must drop hook and recorder references")
+	}
+}
+
+// BenchmarkSearch is the allocs/op regression benchmark for the satellite:
+// run with -benchmem; steady state must stay at path-only allocations.
+func BenchmarkSearch(b *testing.B) {
+	g, cfg, src, tgt := allocGrid()
+	e := New(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := e.Search(-1, src, tgt, cfg); !ok {
+			b.Fatal("no path")
+		}
+	}
+}

@@ -68,6 +68,12 @@ type Engine struct {
 	// Rec, when non-nil, receives the per-search statistics (counters plus
 	// the heap-peak gauge) in one flush at the end of every search.
 	Rec *obs.Recorder
+	// cfg and targets are the current search's parameters, held as fields so
+	// the hot heuristic/push paths are methods instead of closures — a
+	// closure pair plus captured locals escaped to the heap on every Search
+	// call before. targets is a reused copy of the caller's slice.
+	cfg     Config
+	targets []grid.Cell
 }
 
 // New creates an engine bound to g.
@@ -121,6 +127,10 @@ func Acquire(g *grid.Grid) *Engine {
 func (e *Engine) Release() {
 	e.g = nil
 	e.Rec = nil
+	// Drop references the pool must not retain (the step hook closes over
+	// router state); the queue and per-cell arrays keep their capacity.
+	e.cfg = Config{}
+	e.targets = e.targets[:0]
 	enginePool.Put(e)
 }
 
@@ -223,39 +233,14 @@ func (e *Engine) Search(id int32, sources, targets []grid.Cell, cfg Config) ([]g
 	if ntargets == 0 {
 		return nil, false
 	}
-	h := func(c grid.Cell) int {
-		best := -1
-		for _, t := range targets {
-			d := absi(c.X-t.X) + absi(c.Y-t.Y)
-			if dl := absi(c.L - t.L); dl > 0 {
-				d += dl
-			}
-			if best < 0 || d < best {
-				best = d
-			}
-		}
-		return best * cfg.WL * Scale
-	}
-
-	push := func(i int, gcost int, parent int32) {
-		if e.stamp[i] == e.cur && e.dist[i] <= gcost {
-			return
-		}
-		e.stamp[i] = e.cur
-		e.dist[i] = gcost
-		e.parent[i] = parent
-		e.queue.push(pqItem{idx: int32(i), f: gcost + h(e.cell(i)), g: gcost})
-		e.Pushes++
-		if n := e.queue.Len(); n > e.HeapPeak {
-			e.HeapPeak = n
-		}
-	}
+	e.cfg = cfg
+	e.targets = append(e.targets[:0], targets...)
 
 	for _, s := range sources {
 		if !e.g.In(s) || !e.g.FreeOrNet(s, id) {
 			continue
 		}
-		push(e.idx(s), 0, -1)
+		e.pushNode(e.idx(s), 0, -1)
 	}
 
 	var steps = [6]grid.Cell{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}, {L: 1}, {L: -1}}
@@ -297,10 +282,41 @@ func (e *Engine) Search(id int32, sources, targets []grid.Cell, cfg Config) ([]g
 				}
 				step += extra
 			}
-			push(e.idx(nc), it.g+step, int32(i))
+			e.pushNode(e.idx(nc), it.g+step, int32(i))
 		}
 	}
 	return nil, false
+}
+
+// h is the admissible Manhattan heuristic over the current search's
+// targets, in engine cost units.
+func (e *Engine) h(c grid.Cell) int {
+	best := -1
+	for _, t := range e.targets {
+		d := absi(c.X-t.X) + absi(c.Y-t.Y)
+		if dl := absi(c.L - t.L); dl > 0 {
+			d += dl
+		}
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best * e.cfg.WL * Scale
+}
+
+// pushNode relaxes node i to gcost and pushes it on the open list.
+func (e *Engine) pushNode(i, gcost int, parent int32) {
+	if e.stamp[i] == e.cur && e.dist[i] <= gcost {
+		return
+	}
+	e.stamp[i] = e.cur
+	e.dist[i] = gcost
+	e.parent[i] = parent
+	e.queue.push(pqItem{idx: int32(i), f: gcost + e.h(e.cell(i)), g: gcost})
+	e.Pushes++
+	if n := e.queue.Len(); n > e.HeapPeak {
+		e.HeapPeak = n
+	}
 }
 
 // note grows the read-region bounding box to cover c.

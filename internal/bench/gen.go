@@ -27,6 +27,13 @@ type Spec struct {
 	PinCandidates int // 1 = fixed pins; >1 = multiple pin candidate locations
 	AvgHPWL       int // mean pin-to-pin half-perimeter in tracks
 	Blockages     int
+	// MacroBlockages adds that many macro-scale blockages (edge Tracks/8
+	// to Tracks/4) before the standard small ones — the "huge" family's
+	// obstacle profile. The field is rng-gated: at zero (every spec
+	// predating it) the generator draws nothing for it, so previously
+	// published seeds keep producing byte-identical netlists (see the
+	// determinism contract in cmd/benchgen).
+	MacroBlockages int
 }
 
 // SizeUM returns the die edge in micrometers at the 10 nm node (40 nm
@@ -62,6 +69,42 @@ func PaperSpecs(fixedPins bool) []Spec {
 	return out
 }
 
+// HugeSpecs returns the corridor-routing "huge" family: dies larger than
+// the paper's biggest, a few dozen long nets (sparse congestion, two
+// orders of magnitude fewer nets per track than Test1-10), and full-stack
+// macro slabs whose faces force real detours. The profile is what
+// router.Options.SparseSearch is for: dense A* floods slab pockets —
+// growing with die area until it exhausts its expansion budget — while
+// the corridor graph crosses them in a handful of interval-sized hops.
+// Parameters (including seeds) are pinned to instances every net of which
+// the sparse engine routes to 100%.
+func HugeSpecs() []Spec {
+	type row struct {
+		nets, tracks, avg, mb, bl int
+		seed                      int64
+	}
+	rows := []row{
+		{60, 700, 250, 8, 6, 3001},
+		{70, 1200, 350, 10, 8, 3011},
+		{80, 1400, 450, 10, 8, 3007},
+	}
+	out := make([]Spec, len(rows))
+	for i, r := range rows {
+		out[i] = Spec{
+			Name:           fmt.Sprintf("Huge%d", i+1),
+			Nets:           r.nets,
+			Tracks:         r.tracks,
+			Layers:         3,
+			Seed:           r.seed,
+			PinCandidates:  1,
+			AvgHPWL:        r.avg,
+			Blockages:      r.bl,
+			MacroBlockages: r.mb,
+		}
+	}
+	return out
+}
+
 // Generate builds a reproducible random netlist for the spec: uniformly
 // placed two-pin nets with bounded half-perimeter, globally unique pin
 // cells, and a few macro-like blockages.
@@ -75,13 +118,8 @@ func Generate(s Spec) *netlist.Netlist {
 	}
 
 	blocked := make(map[geom.Pt]bool)
-	for i := 0; i < s.Blockages; i++ {
-		w := 2 + rng.Intn(s.Tracks/20+1)
-		h := 2 + rng.Intn(s.Tracks/20+1)
-		x := rng.Intn(s.Tracks - w)
-		y := rng.Intn(s.Tracks - h)
-		l := rng.Intn(s.Layers)
-		r := geom.Rect{X0: x, Y0: y, X1: x + w, Y1: y + h}
+	var shadows []geom.Rect
+	place := func(l int, r geom.Rect) {
 		nl.Blockages = append(nl.Blockages, netlist.Blockage{L: l, Rect: r})
 		if l == 0 {
 			for yy := r.Y0; yy < r.Y1; yy++ {
@@ -90,6 +128,78 @@ func Generate(s Spec) *netlist.Netlist {
 				}
 			}
 		}
+		shadows = append(shadows, r)
+	}
+	addBlockage := func(w, h int) {
+		x := rng.Intn(s.Tracks - w)
+		y := rng.Intn(s.Tracks - h)
+		place(rng.Intn(s.Layers), geom.Rect{X0: x, Y0: y, X1: x + w, Y1: y + h})
+	}
+	// Macros keep a channel of at least Tracks/8 between each other and the
+	// die edge. Narrow gaps between macro walls saturate after a handful of
+	// committed nets and strand later long nets with no ripup small enough
+	// to help; wide channels keep the huge family's routability near 100%,
+	// which is what makes it a fair dense-vs-corridor perf benchmark.
+	macroOK := func(r geom.Rect) bool {
+		gap := s.Tracks / 8
+		if r.X0 < gap || r.Y0 < gap || r.X1 > s.Tracks-gap || r.Y1 > s.Tracks-gap {
+			return false
+		}
+		for _, o := range shadows {
+			if r.X0 < o.X1+gap && o.X0 < r.X1+gap && r.Y0 < o.Y1+gap && o.Y0 < r.Y1+gap {
+				return false
+			}
+		}
+		return true
+	}
+	// Hard macros block every routing layer (RAM/IP blocks own their full
+	// stack), so detours around them are real detours, not layer hops.
+	addMacro := func(w, h int) {
+		var r geom.Rect
+		for try := 0; ; try++ {
+			x := rng.Intn(s.Tracks - w)
+			y := rng.Intn(s.Tracks - h)
+			r = geom.Rect{X0: x, Y0: y, X1: x + w, Y1: y + h}
+			if macroOK(r) || try == 63 {
+				break
+			}
+		}
+		for l := 0; l < s.Layers; l++ {
+			place(l, r)
+		}
+	}
+	// The huge family keeps pins out of every blockage's projection on any
+	// layer: a pin under a macro shadow may be reachable only through its
+	// own layer and the surrounding pin/blockage clutter then strands it.
+	// Near-full routability is what makes the family a fair perf benchmark.
+	// Gated on MacroBlockages so pre-existing specs keep their exact pin
+	// draws (see the determinism contract in cmd/benchgen).
+	shadowed := func(x, y int) bool {
+		if s.MacroBlockages == 0 {
+			return false
+		}
+		for _, r := range shadows {
+			if x >= r.X0 && x < r.X1 && y >= r.Y0 && y < r.Y1 {
+				return true
+			}
+		}
+		return false
+	}
+	// Macro slabs: elongated (RAM-like), random orientation. The slab shape
+	// is what makes dense search expensive on the huge family — a straight
+	// pin-to-pin line hitting a slab mid-face floods the A* frontier along
+	// the whole face before the detour pays off.
+	for i := 0; i < s.MacroBlockages; i++ {
+		long := s.Tracks/4 + rng.Intn(s.Tracks/4+1)
+		short := s.Tracks/24 + rng.Intn(s.Tracks/24+1)
+		if rng.Intn(2) == 0 {
+			addMacro(long, short)
+		} else {
+			addMacro(short, long)
+		}
+	}
+	for i := 0; i < s.Blockages; i++ {
+		addBlockage(2+rng.Intn(s.Tracks/20+1), 2+rng.Intn(s.Tracks/20+1))
 	}
 
 	used := make(map[geom.Pt]bool)
@@ -98,7 +208,7 @@ func Generate(s Spec) *netlist.Netlist {
 			return false
 		}
 		p := geom.Pt{X: x, Y: y}
-		return !used[p] && !blocked[p]
+		return !used[p] && !blocked[p] && !shadowed(x, y)
 	}
 	take := func(x, y int) grid.Cell {
 		used[geom.Pt{X: x, Y: y}] = true

@@ -59,3 +59,53 @@ func TestPaperSpecsShape(t *testing.T) {
 		t.Fatalf("Test5 die = %v um, want 36", got)
 	}
 }
+
+// TestHugeSpecsGenerate pins the shape of the corridor-routing family and
+// the macro-placement invariants Generate promises for it: full-stack
+// slabs with a Tracks/8 channel between macros and the die edge, and no
+// pin under any blockage's projection on any layer.
+func TestHugeSpecsGenerate(t *testing.T) {
+	specs := HugeSpecs()
+	if len(specs) != 3 {
+		t.Fatalf("want 3 huge specs, got %d", len(specs))
+	}
+	for _, sp := range specs {
+		if sp.MacroBlockages == 0 || sp.Layers != 3 || sp.PinCandidates != 1 {
+			t.Fatalf("%s: unexpected profile %+v", sp.Name, sp)
+		}
+		nl := Generate(sp)
+		if err := nl.Validate(); err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		if len(nl.Nets) != sp.Nets || nl.W != sp.Tracks {
+			t.Fatalf("%s: generated %d nets on %d tracks", sp.Name, len(nl.Nets), nl.W)
+		}
+		// Full-stack macros: every layer-0 macro rect must appear on all
+		// layers. Count rects per layer; macros contribute equally.
+		perLayer := make([]int, sp.Layers)
+		var rects []geom.Rect
+		for _, b := range nl.Blockages {
+			perLayer[b.L]++
+			rects = append(rects, b.Rect)
+		}
+		if perLayer[1] < sp.MacroBlockages || perLayer[2] < sp.MacroBlockages {
+			t.Fatalf("%s: macros are not full-stack: per-layer rects %v", sp.Name, perLayer)
+		}
+		// No pin inside any blockage's XY projection.
+		for _, n := range nl.Nets {
+			for _, pin := range []netlist.Pin{n.A, n.B} {
+				for _, c := range pin.Candidates {
+					for _, r := range rects {
+						if c.X >= r.X0 && c.X < r.X1 && c.Y >= r.Y0 && c.Y < r.Y1 {
+							t.Fatalf("%s: pin %v under blockage shadow %v", sp.Name, c, r)
+						}
+					}
+				}
+			}
+		}
+		// Byte-level determinism: the huge family must be reproducible.
+		if b := Generate(sp); len(b.Blockages) != len(nl.Blockages) || b.Blockages[0] != nl.Blockages[0] {
+			t.Fatalf("%s: generation not deterministic", sp.Name)
+		}
+	}
+}

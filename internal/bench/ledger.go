@@ -259,11 +259,13 @@ func makeCell(exp string, m *Metrics) LedgerCell {
 
 // isSchedMetric reports whether a metric belongs to an execution-strategy
 // family (see package comment): sched.* varies with NetWorkers, ripup.*
-// with Options.RipupSpec. Both describe how the result was computed, not
-// what was computed, so the det section excludes them.
+// with Options.RipupSpec, sparse.* with Options.SparseSearch. All describe
+// how the result was computed, not what was computed, so the det section
+// excludes them.
 func isSchedMetric(name string) bool {
 	return (len(name) >= 6 && name[:6] == "sched.") ||
-		(len(name) >= 6 && name[:6] == "ripup.")
+		(len(name) >= 6 && name[:6] == "ripup.") ||
+		(len(name) >= 7 && name[:7] == "sparse.")
 }
 
 // topNets ranks the attribution table by expanded nodes descending, net id

@@ -106,6 +106,16 @@ const (
 	CtrRipupSpecSearches
 	CtrRipupSpecAdopted
 	CtrRipupSpecWasted
+	// Sparse corridor search (internal/sparse, router.Options.SparseSearch).
+	// Configuration-dependent like sched.*/ripup.*: the family exists only
+	// with the lever on, so equivalence tests zero it before diffing and
+	// the bench ledger routes it beside the other execution-strategy
+	// families. searches counts corridor-graph engagements, fallbacks the
+	// engagements whose result the exact repricing check rejected (the
+	// dense engine then ran as usual), nodes the corridor nodes expanded.
+	CtrSparseSearches
+	CtrSparseFallbacks
+	CtrSparseNodes
 
 	numCounters
 )
@@ -149,6 +159,9 @@ var counterNames = [numCounters]string{
 	CtrRipupSpecSearches:    "ripup.spec_searches",
 	CtrRipupSpecAdopted:     "ripup.spec_adopted",
 	CtrRipupSpecWasted:      "ripup.spec_wasted",
+	CtrSparseSearches:       "sparse.searches",
+	CtrSparseFallbacks:      "sparse.fallbacks",
+	CtrSparseNodes:          "sparse.nodes",
 }
 
 func (c CounterID) String() string {

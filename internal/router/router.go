@@ -23,6 +23,7 @@ import (
 	"sadproute/internal/rules"
 	"sadproute/internal/scenario"
 	"sadproute/internal/sched"
+	"sadproute/internal/sparse"
 )
 
 // Options are the user-defined parameters of the algorithm. The zero value
@@ -94,6 +95,23 @@ type Options struct {
 	// byte-identical to the serial run. Requires NetWorkers >= 2 to have
 	// any effect. Off by default.
 	RipupSpec bool
+	// SparseSearch answers eligible first searches on the corridor graph
+	// (internal/sparse) instead of the dense grid: the search expands
+	// corridor nodes derived from obstacle boundaries, snaps back to unit
+	// tracks, and is adopted only when repricing under the full dense step
+	// cost proves the path dense-optimal (exact-or-fallback, see
+	// sparseSearch). Routed results stay DRC-equivalent but are not
+	// byte-identical to the dense run wherever several optimal paths tie —
+	// the engines break ties differently. Effective only in serial runs
+	// (NetWorkers < 2); off by default, so default behavior is
+	// byte-identical to previous releases.
+	SparseSearch bool
+	// SparseMinHPWL is the minimum net half-perimeter (in tracks) for a
+	// search to engage the corridor graph under SparseSearch. Below it the
+	// dense engine is cheap and runs untouched — which also keeps
+	// standard-cell-scale benchmarks byte-identical with the lever on or
+	// off. Zero engages every net.
+	SparseMinHPWL int
 	// DebugWindow logs each failed window-resolve attempt (net, layer,
 	// badness before/after, component size) through the observability
 	// recorder's debug writer (standard error unless redirected via
@@ -120,6 +138,7 @@ func Defaults() Options {
 		DirPenalty:      2,
 		MaxExpand:       400000,
 		DecompCache:     true,
+		SparseMinHPWL:   40,
 	}
 }
 
@@ -238,8 +257,13 @@ type state struct {
 	colors []map[int]decomp.Color
 	locks  []map[int]decomp.Color // colors pinned by the cut-conflict check
 	pen    map[grid.Cell]int      // rip-up cost inflation
-	caches []*decomp.Cache        // per-layer decomposition memo (Options.DecompCache)
-	incs   []*decomp.Incremental  // per-layer incremental decomposition (Options.IncrementalDecomp)
+	// sp/speng are the corridor graph and its pooled engine, live only
+	// when Options.SparseSearch is effective (serial run). sp mirrors g:
+	// commit and ripup forward every cell mutation.
+	sp     *sparse.Graph
+	speng  *sparse.Engine
+	caches []*decomp.Cache       // per-layer decomposition memo (Options.DecompCache)
+	incs   []*decomp.Incremental // per-layer incremental decomposition (Options.IncrementalDecomp)
 	opt    Options
 	res    *Result
 	rec    *obs.Recorder // nil-safe observability recorder
@@ -311,6 +335,11 @@ func RouteCtx(ctx context.Context, nl *netlist.Netlist, ds rules.Set, opt Option
 	st.eng = astar.Acquire(st.g)
 	defer st.eng.Release()
 	st.eng.Rec = rec
+	if opt.SparseSearch && opt.NetWorkers < 2 {
+		st.sp = sparse.NewGraph(st.g)
+		st.speng = sparse.Acquire(st.sp)
+		defer st.speng.Release()
+	}
 	st.ocgs = make([]*ocg.Graph, nl.Layers)
 	st.frags = make([]*fragstore.Store, nl.Layers)
 	st.colors = make([]map[int]decomp.Color, nl.Layers)
@@ -552,6 +581,12 @@ func (st *state) search(id int, n netlist.Net) ([]grid.Cell, bool) {
 	if sp, ok := st.takeSpec(id); ok {
 		return sp.path, sp.ok
 	}
+	if st.sparseEligible(n) {
+		if path, ok, done := st.sparseSearch(id, n); done {
+			return path, ok
+		}
+		st.rec.Inc(obs.CtrSparseFallbacks)
+	}
 	cfg := st.searchCfg(id, n)
 	path, ok := st.eng.Search(int32(id), n.A.Candidates, n.B.Candidates, cfg)
 	st.rec.NetSearch(id, int64(st.eng.Expand))
@@ -681,6 +716,9 @@ func (st *state) commit(id int, path []grid.Cell) {
 	st.dirty.MarkCells(path)
 	for _, c := range path {
 		st.g.Occupy(c, int32(id))
+		if st.sp != nil {
+			st.sp.Occupy(c)
+		}
 	}
 	st.res.Paths[id] = path
 	byLayer := fragstore.CellsByLayer(path, st.nl.Layers)
@@ -700,6 +738,9 @@ func (st *state) ripup(id int) {
 	st.dirty.MarkCells(st.res.Paths[id])
 	for _, c := range st.res.Paths[id] {
 		st.g.Release(c)
+		if st.sp != nil {
+			st.sp.Release(c)
+		}
 	}
 	wl, vias := pathLen(st.res.Paths[id])
 	st.res.WirelengthCells -= wl

@@ -1,0 +1,479 @@
+package sparse
+
+import (
+	"sort"
+	"sync"
+
+	"sadproute/internal/astar"
+	"sadproute/internal/grid"
+	"sadproute/internal/interval"
+)
+
+// Config parameterizes a corridor search. Costs are in the same engine
+// units as astar.Config (astar.Scale applies to WL and Via); DirPenalty
+// and PinVia are flat engine-unit extras matching the router's uniform
+// step-cost terms.
+type Config struct {
+	// WL, Via weigh wirelength and via count exactly as astar.Config.
+	WL, Via int
+	// DirPenalty is the per-step cost of a planar move against the layer's
+	// preferred direction (even layers horizontal, odd vertical).
+	DirPenalty int
+	// PinVia is the extra cost of a via whose either cell is a source or
+	// target candidate (the router pushes vias off pins; see
+	// router.stepCostOn).
+	PinVia int
+	// MaxExpand bounds corridor-node expansions; 0 means no bound.
+	MaxExpand int
+}
+
+// Outcome classifies a corridor search result. NoPath is authoritative —
+// corridor passability equals grid passability, so the dense engine cannot
+// do better — while Aborted (expansion budget) says nothing about the
+// instance and callers must fall back.
+type Outcome int
+
+const (
+	NoPath Outcome = iota
+	Found
+	Aborted
+)
+
+// Engine holds reusable search state for one Graph; it is not safe for
+// concurrent use. Engines follow the same Acquire/Release pool discipline
+// as internal/astar: per-node arrays are retained across searches and pool
+// round-trips, so steady-state searches allocate only the returned path.
+type Engine struct {
+	g *Graph
+	// xs, ys are the interesting-coordinate snapshot of the current
+	// search, sorted ascending and deduplicated.
+	xs, ys []int
+	// Per-node search state, stamp-versioned like astar.Engine so the
+	// arrays never need clearing between searches.
+	dist    []int
+	stamp   []int32
+	parent  []int32
+	tmark   []int32
+	cur     int32
+	queue   spq
+	pins    map[grid.Cell]bool
+	targets []grid.Cell
+	cfg     Config
+	// Expand is the corridor-node expansion count of the last search.
+	Expand int
+}
+
+// NewEngine creates an engine bound to g.
+func NewEngine(g *Graph) *Engine {
+	return &Engine{g: g}
+}
+
+// Bind points the engine at g. Search state sizes to each query's
+// snapshot, so rebinding is free.
+func (e *Engine) Bind(g *Graph) { e.g = g }
+
+var enginePool = sync.Pool{New: func() any { return &Engine{} }}
+
+// Acquire returns a pooled engine bound to g; pair with Release.
+func Acquire(g *Graph) *Engine {
+	e := enginePool.Get().(*Engine)
+	e.Bind(g)
+	return e
+}
+
+// Release detaches the engine and returns it to the pool. The caller must
+// not use the engine afterwards.
+func (e *Engine) Release() {
+	e.g = nil
+	enginePool.Put(e)
+}
+
+type spqItem struct {
+	idx  int32
+	f, g int
+}
+
+// spq orders by f ascending, then g descending (prefer deeper nodes, as
+// astar does), then node index ascending — a total order, so the pop
+// sequence is deterministic for a given push sequence.
+type spq []spqItem
+
+func (q spq) Len() int { return len(q) }
+func (q spq) less(i, j int) bool {
+	if q[i].f != q[j].f {
+		return q[i].f < q[j].f
+	}
+	if q[i].g != q[j].g {
+		return q[i].g > q[j].g
+	}
+	return q[i].idx < q[j].idx
+}
+func (q spq) swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *spq) push(it spqItem) {
+	*q = append(*q, it)
+	i := len(*q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q.swap(i, p)
+		i = p
+	}
+}
+
+func (q *spq) pop() spqItem {
+	old := *q
+	n := len(old) - 1
+	old.swap(0, n)
+	it := old[n]
+	*q = old[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && old.less(r, l) {
+			j = r
+		}
+		if !old.less(j, i) {
+			break
+		}
+		old.swap(i, j)
+		i = j
+	}
+	return it
+}
+
+// Search finds a minimum-cost source→target path under the corridor cost
+// model and returns it snapped to unit grid cells, together with its model
+// cost. Sources and targets are candidate cells (the router's pin
+// candidates); occupied candidates are unreachable, exactly as in the
+// dense engine. The pin set for Config.PinVia is sources ∪ targets.
+//
+// Search is windowed: it first confines the corridor graph to the pin
+// bounding box plus a margin M, which keeps the node count local even on a
+// die whose committed nets have made most global coordinates interesting.
+// A windowed result is only trusted when it is provably global: any path
+// visiting a cell outside the window must exceed WL*Scale*(h0+2M) (h0 the
+// minimum pin-to-pin Manhattan distance — exiting the window costs at
+// least the 2M detour on top), so a windowed cost within that bound is the
+// true optimum. Otherwise the window escalates and the last tier is the
+// whole die, whose verdict — including NoPath — is authoritative.
+func (e *Engine) Search(sources, targets []grid.Cell, cfg Config) ([]grid.Cell, int, Outcome) {
+	if len(sources) == 0 || len(targets) == 0 {
+		return nil, 0, NoPath
+	}
+	e.Expand = 0
+	bx0, by0 := e.g.W, e.g.H
+	bx1, by1 := -1, -1
+	h0 := -1
+	for _, s := range sources {
+		bx0, bx1 = mini(bx0, s.X), maxi(bx1, s.X)
+		by0, by1 = mini(by0, s.Y), maxi(by1, s.Y)
+		for _, t := range targets {
+			if d := absi(s.X-t.X) + absi(s.Y-t.Y); h0 < 0 || d < h0 {
+				h0 = d
+			}
+		}
+	}
+	for _, t := range targets {
+		bx0, bx1 = mini(bx0, t.X), maxi(bx1, t.X)
+		by0, by1 = mini(by0, t.Y), maxi(by1, t.Y)
+	}
+	for _, m := range [2]int{64, 256} {
+		x0, y0 := maxi(0, bx0-m), maxi(0, by0-m)
+		x1, y1 := mini(e.g.W-1, bx1+m), mini(e.g.H-1, by1+m)
+		full := x0 == 0 && y0 == 0 && x1 == e.g.W-1 && y1 == e.g.H-1
+		path, cost, out := e.searchWindow(sources, targets, cfg, x0, y0, x1, y1)
+		switch {
+		case out == Aborted:
+			return nil, 0, Aborted
+		case full:
+			return path, cost, out
+		case out == Found && cost <= cfg.WL*astar.Scale*(h0+2*m):
+			return path, cost, out
+		}
+		// NoPath inside the window, or a cost the certificate cannot rule
+		// an escape route out of: escalate.
+	}
+	// Final tier: the whole die. Its verdict needs no certificate.
+	return e.searchWindow(sources, targets, cfg, 0, 0, e.g.W-1, e.g.H-1)
+}
+
+// searchWindow runs one corridor A* confined to the given coordinate
+// window (inclusive). Expansions accrue to e.Expand across tiers, and
+// Config.MaxExpand bounds the accrued total.
+func (e *Engine) searchWindow(sources, targets []grid.Cell, cfg Config, x0, y0, x1, y1 int) ([]grid.Cell, int, Outcome) {
+	e.cfg = cfg
+	e.snapshot(sources, targets, x0, y0, x1, y1)
+	nx, ny := len(e.xs), len(e.ys)
+	e.ensure(nx * ny * e.g.Layers)
+	e.cur++
+	e.queue = e.queue[:0]
+
+	if e.pins == nil {
+		e.pins = make(map[grid.Cell]bool)
+	}
+	clear(e.pins)
+	for _, c := range sources {
+		e.pins[c] = true
+	}
+	for _, c := range targets {
+		e.pins[c] = true
+	}
+	e.targets = append(e.targets[:0], targets...)
+
+	ntargets := 0
+	for _, t := range targets {
+		if !e.in(t) {
+			continue
+		}
+		if i := e.node(t); e.tmark[i] != e.cur {
+			e.tmark[i] = e.cur
+			ntargets++
+		}
+	}
+	if ntargets == 0 {
+		return nil, 0, NoPath
+	}
+	for _, s := range sources {
+		if !e.in(s) || !e.g.Free(s) {
+			continue
+		}
+		e.push(e.node(s), 0, -1)
+	}
+
+	for e.queue.Len() > 0 {
+		it := e.queue.pop()
+		i := int(it.idx)
+		if e.stamp[i] == e.cur && e.dist[i] < it.g {
+			continue // stale entry
+		}
+		e.Expand++
+		if cfg.MaxExpand > 0 && e.Expand > cfg.MaxExpand {
+			return nil, 0, Aborted
+		}
+		if e.tmark[i] == e.cur {
+			return e.snap(i), it.g, Found
+		}
+		e.relax(i, it.g)
+	}
+	return nil, 0, NoPath
+}
+
+// snapshot collects the interesting coordinates of the query inside the
+// window: window edges (which double as die edges on the full tier), free
+// columns/rows bordering an obstacle (from the boundary refcounts), and
+// every candidate coordinate ±1 (so a cost-neutral corridor slide can
+// always stop next to a pin instead of on it; see the package comment).
+func (e *Engine) snapshot(sources, targets []grid.Cell, x0, y0, x1, y1 int) {
+	e.xs = e.xs[:0]
+	e.ys = e.ys[:0]
+	e.xs = append(e.xs, x0, x1)
+	e.ys = append(e.ys, y0, y1)
+	for x := x0 + 1; x < x1; x++ {
+		if e.g.cntX[x] > 0 {
+			e.xs = append(e.xs, x)
+		}
+	}
+	for y := y0 + 1; y < y1; y++ {
+		if e.g.cntY[y] > 0 {
+			e.ys = append(e.ys, y)
+		}
+	}
+	for _, cells := range [2][]grid.Cell{sources, targets} {
+		for _, c := range cells {
+			for d := -1; d <= 1; d++ {
+				if x := c.X + d; x >= x0 && x <= x1 {
+					e.xs = append(e.xs, x)
+				}
+				if y := c.Y + d; y >= y0 && y <= y1 {
+					e.ys = append(e.ys, y)
+				}
+			}
+		}
+	}
+	sort.Ints(e.xs)
+	sort.Ints(e.ys)
+	e.xs = dedup(e.xs)
+	e.ys = dedup(e.ys)
+}
+
+func dedup(s []int) []int {
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ensure sizes the per-node arrays to n, reusing capacity. A reallocation
+// restarts the stamp epoch (fresh arrays are zero and cur restarts above
+// zero, so no stale state can alias).
+func (e *Engine) ensure(n int) {
+	if cap(e.dist) < n {
+		e.dist = make([]int, n)
+		e.stamp = make([]int32, n)
+		e.parent = make([]int32, n)
+		e.tmark = make([]int32, n)
+		e.cur = 0
+		return
+	}
+	e.dist = e.dist[:n]
+	e.stamp = e.stamp[:n]
+	e.parent = e.parent[:n]
+	e.tmark = e.tmark[:n]
+}
+
+func (e *Engine) in(c grid.Cell) bool {
+	return c.X >= 0 && c.X < e.g.W && c.Y >= 0 && c.Y < e.g.H && c.L >= 0 && c.L < e.g.Layers
+}
+
+// node maps a cell whose coordinates are in the snapshot to its node id.
+func (e *Engine) node(c grid.Cell) int {
+	xi := sort.SearchInts(e.xs, c.X)
+	yi := sort.SearchInts(e.ys, c.Y)
+	return (c.L*len(e.ys)+yi)*len(e.xs) + xi
+}
+
+// coords is the inverse of node.
+func (e *Engine) coords(i int) (xi, yi, l int) {
+	nx, ny := len(e.xs), len(e.ys)
+	return i % nx, (i / nx) % ny, i / (nx * ny)
+}
+
+// h is the admissible heuristic: Manhattan distance priced at the uniform
+// floor (WL per planar step, Via per layer change; DirPenalty and PinVia
+// only ever add).
+func (e *Engine) h(i int) int {
+	xi, yi, l := e.coords(i)
+	x, y := e.xs[xi], e.ys[yi]
+	best := -1
+	for _, t := range e.targets {
+		d := (absi(x-t.X)+absi(y-t.Y))*e.cfg.WL + absi(l-t.L)*e.cfg.Via
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best * astar.Scale
+}
+
+func (e *Engine) push(i, gcost int, parent int32) {
+	if e.stamp[i] == e.cur && e.dist[i] <= gcost {
+		return
+	}
+	e.stamp[i] = e.cur
+	e.dist[i] = gcost
+	e.parent[i] = parent
+	e.queue.push(spqItem{idx: int32(i), f: gcost + e.h(i), g: gcost})
+}
+
+// relax pushes every corridor neighbor of node i: planar moves to the
+// adjacent interesting coordinate when the whole corridor is free, vias
+// when both cells are free.
+func (e *Engine) relax(i, gcost int) {
+	xi, yi, l := e.coords(i)
+	nx, ny := len(e.xs), len(e.ys)
+	x, y := e.xs[xi], e.ys[yi]
+	wl := e.cfg.WL * astar.Scale
+	stepX, stepY := wl, wl
+	if l%2 == 1 {
+		stepX += e.cfg.DirPenalty // odd layers prefer vertical
+	} else {
+		stepY += e.cfg.DirPenalty // even layers prefer horizontal
+	}
+	row, col := &e.g.rowFree[l][y], &e.g.colFree[l][x]
+	if xi+1 < nx {
+		if x2 := e.xs[xi+1]; row.Covers(interval.Iv{Lo: x, Hi: x2 + 1}) {
+			e.push(i+1, gcost+(x2-x)*stepX, int32(i))
+		}
+	}
+	if xi > 0 {
+		if x2 := e.xs[xi-1]; row.Covers(interval.Iv{Lo: x2, Hi: x + 1}) {
+			e.push(i-1, gcost+(x-x2)*stepX, int32(i))
+		}
+	}
+	if yi+1 < ny {
+		if y2 := e.ys[yi+1]; col.Covers(interval.Iv{Lo: y, Hi: y2 + 1}) {
+			e.push(i+nx, gcost+(y2-y)*stepY, int32(i))
+		}
+	}
+	if yi > 0 {
+		if y2 := e.ys[yi-1]; col.Covers(interval.Iv{Lo: y2, Hi: y + 1}) {
+			e.push(i-nx, gcost+(y-y2)*stepY, int32(i))
+		}
+	}
+	for dl := -1; dl <= 1; dl += 2 {
+		l2 := l + dl
+		if l2 < 0 || l2 >= e.g.Layers || !e.g.rowFree[l2][y].Contains(x) {
+			continue
+		}
+		step := e.cfg.Via * astar.Scale
+		if e.pins[grid.Cell{X: x, Y: y, L: l}] || e.pins[grid.Cell{X: x, Y: y, L: l2}] {
+			step += e.cfg.PinVia
+		}
+		e.push(i+dl*nx*ny, gcost+step, int32(i))
+	}
+}
+
+// snap reconstructs the corridor-node path ending at node i and expands
+// every corridor edge into unit cell steps, source→target inclusive — the
+// same shape the dense engine returns, so commit/DRC/trace layers are
+// agnostic to which engine routed the net.
+func (e *Engine) snap(i int) []grid.Cell {
+	var rev []int32
+	for j := int32(i); j >= 0; j = e.parent[j] {
+		rev = append(rev, j)
+	}
+	cell := func(n int32) grid.Cell {
+		xi, yi, l := e.coords(int(n))
+		return grid.Cell{X: e.xs[xi], Y: e.ys[yi], L: l}
+	}
+	path := []grid.Cell{cell(rev[len(rev)-1])}
+	for k := len(rev) - 2; k >= 0; k-- {
+		from, to := cell(rev[k+1]), cell(rev[k])
+		dx, dy, dl := sgn(to.X-from.X), sgn(to.Y-from.Y), sgn(to.L-from.L)
+		for c := from; c != to; {
+			c = grid.Cell{X: c.X + dx, Y: c.Y + dy, L: c.L + dl}
+			path = append(path, c)
+		}
+	}
+	return path
+}
+
+func sgn(v int) int {
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return 1
+	}
+	return 0
+}
+
+func absi(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func mini(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,126 @@
+package sparse
+
+import (
+	"testing"
+
+	"sadproute/internal/geom"
+	"sadproute/internal/grid"
+)
+
+// blockAll blocks a rect on every layer — a full-stack obstacle the search
+// cannot hop via another layer.
+func blockAll(g *grid.Grid, r geom.Rect) {
+	for l := 0; l < g.Layers; l++ {
+		g.Block(l, r)
+	}
+}
+
+// TestWindowedFastPathStaysLocal pins the point of the windowed search: on
+// a die far larger than the first margin tier, a short net must be solved
+// inside its tier-1 window without the node set ever touching the die
+// edges. The snapshot axes are inspected directly (same package).
+func TestWindowedFastPathStaysLocal(t *testing.T) {
+	g := mk(1200, 1200, 2)
+	src := []grid.Cell{{X: 600, Y: 600}}
+	tgt := []grid.Cell{{X: 612, Y: 606}}
+	sp := NewGraph(g)
+	e := Acquire(sp)
+	defer e.Release()
+	path, cost, out := e.Search(src, tgt, baseCfg)
+	if out != Found {
+		t.Fatalf("outcome %v, want Found", out)
+	}
+	checkPath(t, g, src, tgt, path)
+	if got := price(path, pinSet(src, tgt), baseCfg); got != cost {
+		t.Fatalf("reported cost %d != repriced %d", cost, got)
+	}
+	// The certificate accepted a tier-1 result, so the last snapshot is
+	// the 64-margin window: node coordinates stay near the pins.
+	if e.xs[0] < 600-65 || e.xs[len(e.xs)-1] > 612+65 {
+		t.Fatalf("x axis escaped the tier-1 window: [%d, %d]", e.xs[0], e.xs[len(e.xs)-1])
+	}
+	if e.ys[0] < 600-65 || e.ys[len(e.ys)-1] > 606+65 {
+		t.Fatalf("y axis escaped the tier-1 window: [%d, %d]", e.ys[0], e.ys[len(e.ys)-1])
+	}
+	if len(e.xs) > 16 || len(e.ys) > 16 {
+		t.Fatalf("empty-window node axes too dense: %d x %d", len(e.xs), len(e.ys))
+	}
+}
+
+// TestWindowEscalatesPastBlockedWindow forces tier escalation through a
+// windowed NoPath: a full-stack wall splits the tier-1 window completely,
+// and the only gap lies outside it. The escalated (full-die) result must
+// still be the dense optimum.
+func TestWindowEscalatesPastBlockedWindow(t *testing.T) {
+	g := mk(400, 200, 2)
+	// Wall at x=210 from y=30 down to the die edge; the gap y<30 is
+	// outside the tier-1 window (y0 = 100-64 = 36).
+	blockAll(g, geom.Rect{X0: 210, Y0: 30, X1: 211, Y1: 200})
+	src := []grid.Cell{{X: 200, Y: 100}}
+	tgt := []grid.Cell{{X: 220, Y: 100}}
+	path, _, out := searchBoth(t, g, src, tgt, baseCfg)
+	if out != Found {
+		t.Fatalf("outcome %v, want Found after escalation", out)
+	}
+	for _, c := range path {
+		if c.X == 210 && c.Y >= 30 {
+			t.Fatalf("path crosses the wall at %v", c)
+		}
+	}
+}
+
+// TestWindowCertRejectsEdgeHuggingDetour forces the escalate-on-cost arm:
+// the only gap inside the tier-1 window sits exactly on the window edge,
+// so a path exists in the window but its cost (base detour plus direction
+// penalties and vias) exceeds WL*Scale*(h0+2M) and the certificate cannot
+// rule out a cheaper route outside. The escalated result must match the
+// dense optimum.
+func TestWindowCertRejectsEdgeHuggingDetour(t *testing.T) {
+	g := mk(400, 200, 2)
+	// Tier-1 window is y ∈ [36, 164]; wall y<164 leaves the gap rows
+	// 164..199, whose first row is the window's edge row.
+	blockAll(g, geom.Rect{X0: 210, Y0: 0, X1: 211, Y1: 164})
+	src := []grid.Cell{{X: 200, Y: 100}}
+	tgt := []grid.Cell{{X: 220, Y: 100}}
+	if _, _, out := searchBoth(t, g, src, tgt, baseCfg); out != Found {
+		t.Fatalf("outcome %v, want Found", out)
+	}
+}
+
+// TestWindowedNoPathIsAuthoritative pins that NoPath is only ever reported
+// by the full-die tier: a target walled in on every layer of a large die
+// must come back NoPath (not Aborted, not a false Found), agreeing with
+// the dense engine.
+func TestWindowedNoPathIsAuthoritative(t *testing.T) {
+	g := mk(400, 400, 2)
+	blockAll(g, geom.Rect{X0: 340, Y0: 340, X1: 361, Y1: 341}) // north
+	blockAll(g, geom.Rect{X0: 340, Y0: 360, X1: 361, Y1: 361}) // south
+	blockAll(g, geom.Rect{X0: 340, Y0: 340, X1: 341, Y1: 361}) // west
+	blockAll(g, geom.Rect{X0: 360, Y0: 340, X1: 361, Y1: 361}) // east
+	src := []grid.Cell{{X: 50, Y: 50}}
+	tgt := []grid.Cell{{X: 350, Y: 350}}
+	if _, _, out := searchBoth(t, g, src, tgt, baseCfg); out != NoPath {
+		t.Fatalf("outcome %v, want NoPath", out)
+	}
+}
+
+// TestWindowMaxExpandAccruesAcrossTiers pins that the expansion budget is
+// shared by all tiers of one Search: a budget too small for even the
+// tier-1 window aborts the whole search instead of resetting per tier.
+func TestWindowMaxExpandAccruesAcrossTiers(t *testing.T) {
+	g := mk(400, 200, 2)
+	blockAll(g, geom.Rect{X0: 210, Y0: 30, X1: 211, Y1: 200})
+	src := []grid.Cell{{X: 200, Y: 100}}
+	tgt := []grid.Cell{{X: 220, Y: 100}}
+	sp := NewGraph(g)
+	e := Acquire(sp)
+	defer e.Release()
+	cfg := baseCfg
+	cfg.MaxExpand = 4
+	if _, _, out := e.Search(src, tgt, cfg); out != Aborted {
+		t.Fatalf("outcome %v, want Aborted under a 4-expansion budget", out)
+	}
+	if e.Expand > 5 { // the pop that trips the budget is itself counted
+		t.Fatalf("expanded %d nodes past the budget", e.Expand)
+	}
+}

@@ -132,6 +132,11 @@ func Generate(spec Spec) *Netlist { return bench.Generate(spec) }
 // (fixedPins=false) benchmark parameterizations.
 func PaperSpecs(fixedPins bool) []Spec { return bench.PaperSpecs(fixedPins) }
 
+// HugeSpecs returns the large-die low-congestion "huge" benchmark family
+// that motivates Options.SparseSearch: a few dozen long nets threading
+// full-stack macro slabs on dies larger than the paper's biggest.
+func HugeSpecs() []Spec { return bench.HugeSpecs() }
+
 // ReadNetlist parses the plain-text netlist format.
 func ReadNetlist(r io.Reader) (*Netlist, error) { return netlist.Read(r) }
 

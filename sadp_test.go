@@ -43,6 +43,29 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestSpecFamiliesExposed sanity-checks the re-exported benchmark
+// families and the per-layer oracle entry points.
+func TestSpecFamiliesExposed(t *testing.T) {
+	if got := len(PaperSpecs(true)); got != 5 {
+		t.Fatalf("PaperSpecs(true): %d specs, want 5", got)
+	}
+	huge := HugeSpecs()
+	if len(huge) != 3 || huge[0].Name != "Huge1" {
+		t.Fatalf("HugeSpecs: %+v", huge)
+	}
+	// The oracle facades answer on a routed layer exactly like the
+	// internal engines they wrap.
+	nl := Generate(Spec{Name: "f", Nets: 30, Tracks: 32, Layers: 2, Seed: 9, PinCandidates: 1, AvgHPWL: 5})
+	res := Route(nl, Node10nm(), Defaults())
+	ly := res.Layouts()[0]
+	if r := DecomposeCut(ly); r.HardOverlays != 0 {
+		t.Fatalf("DecomposeCut on a routed layer: %d hard overlays", r.HardOverlays)
+	}
+	if r := DecomposeTrim(ly); r == nil {
+		t.Fatal("DecomposeTrim returned nil")
+	}
+}
+
 // TestPaperRulesExposed sanity-checks the re-exported rule set.
 func TestPaperRulesExposed(t *testing.T) {
 	ds := Node10nm()
